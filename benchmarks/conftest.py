@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md §4): it computes the table once, prints it (run pytest with
+``-s`` to see the output), records headline numbers in
+``benchmark.extra_info``, and asserts the *shape* claims the paper makes
+(who wins, roughly by how much) — absolute values differ because the
+substrate is pure Python on substituted datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import load_dataset
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table with a banner."""
+    print(f"\n=== {title} ===")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def karate():
+    return load_dataset("karate")
+
+
+@pytest.fixture(scope="session")
+def tiny_datasets():
+    return ["karate", "brightkite-like", "epinion-like", "slashdot-like", "facebook-like"]

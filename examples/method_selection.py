@@ -1,0 +1,68 @@
+"""Choosing d, CSS and NB: a miniature of the paper's §6.2 ablation.
+
+For 4-node graphlet estimation, sweeps the framework's knobs on one
+dataset and reports NRMSE for the rarest type (the 4-clique) together with
+the weighted-concentration explanation of Figure 5.
+
+    python examples/method_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import exact_concentrations, load_dataset, weighted_concentration
+from repro.evaluation import format_table, run_trials
+from repro.graphlets import graphlet_by_name, graphlets
+
+DATASET = "facebook-like"
+STEPS = 4_000
+TRIALS = 20
+
+
+def main() -> None:
+    graph = load_dataset(DATASET)
+    truth = exact_concentrations(graph, 4)
+    clique = graphlet_by_name(4, "clique").index
+
+    methods = ["SRW2", "SRW2CSS", "SRW2NB", "SRW2CSSNB", "SRW3", "SRW3NB"]
+    rows = []
+    for method in methods:
+        summary = run_trials(
+            graph, 4, method, steps=STEPS, trials=TRIALS, base_seed=11
+        )
+        rows.append(
+            [
+                method,
+                summary.nrmse_for(truth, clique),
+                f"{summary.mean_elapsed:.3f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "NRMSE(c46)", "time/run"],
+            rows,
+            title=f"{DATASET}: 4-clique concentration error "
+            f"({STEPS} steps x {TRIALS} trials)",
+        )
+    )
+
+    print("\nWhy smaller d wins (Figure 5's weighted concentration):")
+    rows = []
+    for g in graphlets(4):
+        w2 = weighted_concentration(graph, 4, 2)[g.index]
+        w3 = weighted_concentration(graph, 4, 3)[g.index]
+        rows.append([g.name, truth[g.index], w2, w3])
+    print(
+        format_table(
+            ["graphlet", "concentration", "weighted (SRW2)", "weighted (SRW3)"],
+            rows,
+        )
+    )
+    print(
+        "\nSRW2 lifts the probability mass of rare dense graphlets (clique)\n"
+        "well above their raw concentration, which is exactly what drives\n"
+        "its lower NRMSE — the paper's central design argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Node-role analysis via graphlet degree signatures (paper §1 applications).
+
+The paper motivates graphlets through applications like protein-function
+detection via *graphlet degree signatures* [22]: nodes whose signatures
+(per-orbit participation counts) are similar play similar structural
+roles.  This example computes exact 4-node graphlet degree vectors for the
+karate club and shows that signature similarity recovers its two-hub
+social structure.
+
+    python examples/node_roles.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.evaluation import format_table
+from repro.graphlets import (
+    graphlet_degree_signature_similarity,
+    graphlet_degree_vectors,
+    num_orbits,
+)
+
+
+def main() -> None:
+    graph = load_dataset("karate")
+    gdv = graphlet_degree_vectors(graph, 4)
+    print(
+        f"graphlet degree vectors: {graph.num_nodes} nodes x "
+        f"{num_orbits(4)} orbits (exact, by enumeration)\n"
+    )
+
+    # The two club leaders: node 0 (the instructor) and node 33 (the
+    # president).  Their signatures should resemble each other more than
+    # they resemble peripheral members.
+    instructor, president, peripheral = 0, 33, 11
+    pairs = [
+        ("instructor vs president", instructor, president),
+        ("instructor vs peripheral", instructor, peripheral),
+        ("president vs peripheral", president, peripheral),
+    ]
+    rows = [
+        [label, graphlet_degree_signature_similarity(gdv[u], gdv[v])]
+        for label, u, v in pairs
+    ]
+    print(format_table(["pair", "signature similarity"], rows))
+
+    # Rank all nodes by similarity to the instructor's signature.
+    scored = sorted(
+        (
+            (v, graphlet_degree_signature_similarity(gdv[instructor], gdv[v]))
+            for v in graph.nodes()
+            if v != instructor
+        ),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    top = scored[:5]
+    print(
+        "\nnodes most similar to the instructor (node 0): "
+        + ", ".join(f"{v} ({s:.3f})" for v, s in top)
+    )
+    assert president in [v for v, _ in top], "hub role should be recovered"
+    print(
+        "\nThe president (node 33) ranks among the instructor's closest\n"
+        "structural matches — hub roles are recovered from local graphlet\n"
+        "participation alone, the mechanism behind the paper's biology\n"
+        "applications."
+    )
+
+
+if __name__ == "__main__":
+    main()

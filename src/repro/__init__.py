@@ -1,0 +1,124 @@
+"""repro: random-walk graphlet statistics estimation.
+
+A from-scratch reproduction of
+
+    Xiaowei Chen, Yongkun Li, Pinghui Wang, John C.S. Lui.
+    "A General Framework for Estimating Graphlet Statistics via Random
+    Walk."  PVLDB 10(3), 2016.
+
+Quickstart::
+
+    from repro import load_dataset, GraphletEstimator, exact_concentrations
+
+    graph = load_dataset("facebook-like")
+    estimator = GraphletEstimator(graph, k=4, method="SRW2CSS", seed=7)
+    result = estimator.run(steps=20_000)
+    print(result.concentration_dict())
+    print(exact_concentrations(graph, 4))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .baselines import (
+    guise,
+    hardiman_katzir,
+    path_sampling,
+    psrw_estimate,
+    srw_estimate,
+    wedge_mhrw,
+    wedge_sampling,
+)
+from .core import (
+    EstimationResult,
+    GraphletEstimator,
+    MethodSpec,
+    alpha_coefficient,
+    alpha_table,
+    estimate_concentration,
+    estimate_counts,
+    recommended_method,
+    run_estimation,
+    sample_size_bound,
+    weighted_concentration,
+)
+from .evaluation import (
+    convergence_sweep,
+    cosine_similarity,
+    graphlet_kernel_similarity,
+    nrmse,
+    nrmse_table,
+    run_trials,
+)
+from .exact import (
+    exact_concentrations,
+    exact_counts,
+    global_clustering_coefficient,
+    triangle_count,
+)
+from .graphlets import Graphlet, graphlet_names, graphlets, num_graphlets
+from .graphs import (
+    Graph,
+    GraphError,
+    RestrictedGraph,
+    barabasi_albert,
+    erdos_renyi,
+    largest_connected_component,
+    list_datasets,
+    load_dataset,
+    powerlaw_cluster,
+    read_edge_list,
+    watts_strogatz,
+)
+from .relgraph import relationship_edge_count, relationship_graph, walk_space
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimationResult",
+    "Graph",
+    "GraphError",
+    "Graphlet",
+    "GraphletEstimator",
+    "MethodSpec",
+    "RestrictedGraph",
+    "alpha_coefficient",
+    "alpha_table",
+    "barabasi_albert",
+    "convergence_sweep",
+    "cosine_similarity",
+    "erdos_renyi",
+    "estimate_concentration",
+    "estimate_counts",
+    "exact_concentrations",
+    "exact_counts",
+    "global_clustering_coefficient",
+    "graphlet_kernel_similarity",
+    "graphlet_names",
+    "graphlets",
+    "guise",
+    "hardiman_katzir",
+    "largest_connected_component",
+    "list_datasets",
+    "load_dataset",
+    "nrmse",
+    "nrmse_table",
+    "num_graphlets",
+    "path_sampling",
+    "powerlaw_cluster",
+    "psrw_estimate",
+    "read_edge_list",
+    "recommended_method",
+    "relationship_edge_count",
+    "relationship_graph",
+    "run_estimation",
+    "run_trials",
+    "sample_size_bound",
+    "srw_estimate",
+    "triangle_count",
+    "walk_space",
+    "watts_strogatz",
+    "wedge_mhrw",
+    "wedge_sampling",
+    "weighted_concentration",
+]

@@ -1,0 +1,34 @@
+"""Baselines the paper compares against (§6.3)."""
+
+from .guise import GuiseResult, guise, guise_neighbors
+from .hardiman_katzir import HardimanKatzirResult, hardiman_katzir
+from .path_sampling import (
+    PathSampler,
+    PathSamplingResult,
+    path_sampling,
+    path_weights,
+)
+from .psrw import psrw_estimate, psrw_spec, srw_estimate, srw_spec
+from .wedge import WedgeSampler, WedgeSamplingResult, wedge_sampling
+from .wedge_mhrw import WedgeMHRWResult, wedge_mhrw
+
+__all__ = [
+    "GuiseResult",
+    "HardimanKatzirResult",
+    "PathSampler",
+    "PathSamplingResult",
+    "WedgeMHRWResult",
+    "WedgeSampler",
+    "WedgeSamplingResult",
+    "guise",
+    "guise_neighbors",
+    "hardiman_katzir",
+    "path_sampling",
+    "path_weights",
+    "psrw_estimate",
+    "psrw_spec",
+    "srw_estimate",
+    "srw_spec",
+    "wedge_mhrw",
+    "wedge_sampling",
+]

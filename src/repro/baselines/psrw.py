@@ -1,0 +1,53 @@
+"""PSRW and SRW baselines (Wang et al. [36]).
+
+The paper positions its framework against PSRW, the previous
+state-of-the-art random-walk method, and proves PSRW is the special case
+``d = k - 1`` of the new framework (§1.2, §6.3.1): SRW2 for 3-node, SRW3
+for 4-node, SRW4 for 5-node graphlets.  Likewise the plain "subgraph random
+walk" SRW of [36] is the degenerate case ``d = k`` (window length l = 1).
+
+These wrappers exist so experiment code can name the baselines explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.estimator import EstimationResult, MethodSpec, run_estimation
+
+
+def psrw_spec(k: int) -> MethodSpec:
+    """PSRW = SRW(k-1) within our framework."""
+    return MethodSpec(k=k, d=k - 1)
+
+
+def srw_spec(k: int) -> MethodSpec:
+    """Plain subgraph random walk on G(k) (l = 1) from [36]."""
+    return MethodSpec(k=k, d=k)
+
+
+def psrw_estimate(
+    graph,
+    k: int,
+    steps: int,
+    seed: Optional[int] = None,
+    seed_node: int = 0,
+) -> EstimationResult:
+    """Run the PSRW baseline."""
+    return run_estimation(
+        graph, psrw_spec(k), steps, rng=random.Random(seed), seed_node=seed_node
+    )
+
+
+def srw_estimate(
+    graph,
+    k: int,
+    steps: int,
+    seed: Optional[int] = None,
+    seed_node: int = 0,
+) -> EstimationResult:
+    """Run the plain SRW-on-G(k) baseline."""
+    return run_estimation(
+        graph, srw_spec(k), steps, rng=random.Random(seed), seed_node=seed_node
+    )

@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+    python -m repro datasets
+    python -m repro summarize --dataset facebook-like
+    python -m repro estimate --dataset karate -k 4 --method SRW2CSS --steps 20000
+    python -m repro exact --dataset karate -k 4
+    python -m repro compare --dataset karate -k 3 --steps 5000 --trials 10
+    python -m repro bound --dataset karate -k 3 -d 1 --graphlet triangle
+
+Edge-list files are accepted anywhere a dataset name is (``--edge-list
+path``); the file is loaded, relabeled, and reduced to its LCC like the
+paper's preprocessing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import GraphletEstimator, recommended_method, sample_size_bound
+from .evaluation import format_table, nrmse_table, run_trials
+from .exact import exact_concentrations
+from .graphlets import graphlet_by_name, graphlets
+from .graphs import (
+    Graph,
+    largest_connected_component,
+    list_datasets,
+    load_dataset,
+    read_edge_list,
+)
+from .graphs.datasets import dataset_spec
+from .graphs.stats import summarize
+
+
+def _resolve_graph(args) -> Graph:
+    if args.edge_list:
+        graph, _ = read_edge_list(args.edge_list)
+        lcc, _ = largest_connected_component(graph)
+        return lcc
+    return load_dataset(args.dataset)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="karate", help="registered dataset name")
+    parser.add_argument(
+        "--edge-list", default=None, help="path to an edge-list file (overrides --dataset)"
+    )
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name in list_datasets():
+        spec = dataset_spec(name)
+        graph = load_dataset(name)
+        rows.append(
+            [name, spec.tier, graph.num_nodes, graph.num_edges, spec.paper_counterpart]
+        )
+    print(format_table(["name", "tier", "|V|", "|E|", "paper role"], rows))
+    return 0
+
+
+def cmd_summarize(args) -> int:
+    graph = _resolve_graph(args)
+    summary = summarize(graph)
+    rows = [[field, getattr(summary, field)] for field in summary.__dataclass_fields__]
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    graph = _resolve_graph(args)
+    method = args.method or recommended_method(args.k)
+    estimator = GraphletEstimator(graph, k=args.k, method=method, seed=args.seed)
+    result = estimator.run(args.steps)
+    rows = [
+        [g.paper_id, g.name, float(result.concentrations[g.index])]
+        for g in graphlets(args.k)
+    ]
+    print(
+        format_table(
+            ["id", "graphlet", "concentration"],
+            rows,
+            title=f"{method}, {args.steps} steps, "
+            f"{result.valid_samples} valid samples, "
+            f"{result.elapsed_seconds:.2f}s",
+        )
+    )
+    return 0
+
+
+def cmd_exact(args) -> int:
+    graph = _resolve_graph(args)
+    truth = exact_concentrations(graph, args.k)
+    rows = [
+        [g.paper_id, g.name, truth[g.index]] for g in graphlets(args.k)
+    ]
+    print(format_table(["id", "graphlet", "concentration"], rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = _resolve_graph(args)
+    methods = args.methods or {
+        3: ["SRW1", "SRW1CSS", "SRW1CSSNB", "SRW2"],
+        4: ["SRW2", "SRW2CSS", "SRW3"],
+        5: ["SRW2", "SRW2CSS", "SRW3"],
+    }[args.k]
+    truth = exact_concentrations(graph, args.k)
+    target = (
+        graphlet_by_name(args.k, args.graphlet).index
+        if args.graphlet
+        else min((i for i in truth if truth[i] > 0), key=lambda i: truth[i])
+    )
+    table = nrmse_table(
+        graph, args.k, methods, steps=args.steps, trials=args.trials,
+        target_index=target, truth=truth, base_seed=args.seed,
+    )
+    name = graphlets(args.k)[target].name
+    rows = [[m, v] for m, v in table.items()]
+    print(
+        format_table(
+            ["method", f"NRMSE(c[{name}])"],
+            rows,
+            title=f"{args.trials} trials x {args.steps} steps; "
+            f"truth={truth[target]:.5g}",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .reporting import build_report
+
+    report = build_report(quick=not args.full, seed=args.seed)
+    text = report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if report.all_claims_hold else 1
+
+
+def cmd_bound(args) -> int:
+    graph = _resolve_graph(args)
+    index = graphlet_by_name(args.k, args.graphlet).index
+    report = sample_size_bound(
+        graph, args.k, args.d, index, epsilon=args.epsilon, delta=args.delta
+    )
+    print(report.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Random-walk graphlet statistics estimation (Chen et al., VLDB 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets").set_defaults(
+        func=cmd_datasets
+    )
+
+    p = sub.add_parser("summarize", help="descriptive statistics of a graph")
+    _add_graph_arguments(p)
+    p.set_defaults(func=cmd_summarize)
+
+    p = sub.add_parser("estimate", help="estimate graphlet concentrations")
+    _add_graph_arguments(p)
+    p.add_argument("-k", type=int, default=4, choices=(3, 4, 5))
+    p.add_argument("--method", default=None, help="SRW{d}[CSS][NB]; default: paper's pick")
+    p.add_argument("--steps", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("exact", help="exact concentrations (ground truth)")
+    _add_graph_arguments(p)
+    p.add_argument("-k", type=int, default=4, choices=(3, 4, 5))
+    p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser("compare", help="NRMSE comparison across methods")
+    _add_graph_arguments(p)
+    p.add_argument("-k", type=int, default=3, choices=(3, 4, 5))
+    p.add_argument("--methods", nargs="*", default=None)
+    p.add_argument("--graphlet", default=None, help="target type (default: rarest)")
+    p.add_argument("--steps", type=int, default=5_000)
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "report", help="regenerate a compact reproduction report (markdown)"
+    )
+    p.add_argument("--full", action="store_true", help="paper-scale budgets")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write markdown to a file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("bound", help="Theorem 3 sample-size bound")
+    _add_graph_arguments(p)
+    p.add_argument("-k", type=int, default=3, choices=(3, 4, 5))
+    p.add_argument("-d", type=int, default=1)
+    p.add_argument("--graphlet", default="triangle")
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--delta", type=float, default=0.1)
+    p.set_defaults(func=cmd_bound)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Checkpointed estimation: partial results along one walk.
+
+Convergence studies (Figure 6) want the estimate at several budgets.
+Re-running the walk per budget is statistically clean but wastes steps when
+one only needs a *trajectory*; :func:`run_with_checkpoints` snapshots the
+running sums at the requested step counts of a single walk, giving the
+whole anytime-curve for the price of its largest budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .estimator import EstimationResult, MethodSpec, _run_walk
+
+
+def run_with_checkpoints(
+    graph,
+    spec: MethodSpec,
+    checkpoints: Sequence[int],
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+    burn_in: int = 0,
+) -> List[EstimationResult]:
+    """One walk, snapshotted at each checkpoint step count.
+
+    Returns one :class:`EstimationResult` per checkpoint (ascending); the
+    last one is exactly what a plain :func:`run_estimation` of the largest
+    budget with the same RNG would return.  Snapshots share the walk, so
+    they are *nested*, not independent — use
+    :func:`repro.evaluation.run_trials` when independence matters.
+    """
+    budgets = sorted(set(checkpoints))
+    return _run_walk(graph, spec, budgets, rng, seed_node, burn_in)

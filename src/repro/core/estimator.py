@@ -1,0 +1,296 @@
+"""The estimation loop: Algorithm 1 with the CSS and NB-SRW options.
+
+One pass of :func:`run_estimation` performs ``steps`` transitions of a
+(possibly non-backtracking) random walk on G(d), turns every window of
+``l = k - d + 1`` consecutive states covering k distinct nodes into a
+graphlet sample, and accumulates the re-weighted indicator sums
+
+    S_i = sum over samples of type i of  1 / (alpha_i * pi~_e(X))   (basic)
+    S_i = sum over samples of type i of  1 / p~(X)                  (CSS)
+
+from which both concentrations (S_i / sum_j S_j, Eq. 5/8) and counts
+(2|R(d)| * S_i / n, Eq. 4/7) follow.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphlets.catalog import classify_bitmask, graphlets
+from ..relgraph.spaces import walk_space
+from ..walks.walkers import make_walk
+from .alpha import alpha_table
+from .css import sampling_weight
+from .expanded_chain import nominal_degree
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A fully specified method: graphlet size k, walk substrate d, flags.
+
+    The paper's method names read ``SRW{d}[CSS][NB]``; :meth:`parse` accepts
+    exactly that grammar (e.g. ``"SRW1CSSNB"``, ``"SRW2CSS"``, ``"SRW3"``).
+    """
+
+    k: int
+    d: int
+    css: bool = False
+    nb: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 3:
+            raise ValueError(f"graphlet size k must be >= 3, got {self.k}")
+        if not 1 <= self.d <= self.k:
+            raise ValueError(f"need 1 <= d <= k, got d={self.d}, k={self.k}")
+        if self.css and self.l < 3:
+            raise ValueError(
+                "CSS requires l = k - d + 1 > 2 (for l <= 2 it coincides "
+                "with the basic estimator); use css=False"
+            )
+
+    @property
+    def l(self) -> int:
+        """Window length l = k - d + 1."""
+        return self.k - self.d + 1
+
+    @property
+    def name(self) -> str:
+        """Paper-style method name."""
+        return f"SRW{self.d}" + ("CSS" if self.css else "") + ("NB" if self.nb else "")
+
+    @classmethod
+    def parse(cls, name: str, k: int) -> "MethodSpec":
+        """Parse a paper-style method string for graphlet size ``k``."""
+        text = name.strip().upper()
+        if not text.startswith("SRW"):
+            raise ValueError(f"method must start with 'SRW', got {name!r}")
+        rest = text[3:]
+        digits = ""
+        while rest and rest[0].isdigit():
+            digits += rest[0]
+            rest = rest[1:]
+        if not digits:
+            raise ValueError(f"method {name!r} missing the d digit (e.g. SRW2CSS)")
+        css = nb = False
+        while rest:
+            if rest.startswith("CSS"):
+                css, rest = True, rest[3:]
+            elif rest.startswith("NB"):
+                nb, rest = True, rest[2:]
+            else:
+                raise ValueError(f"unrecognized suffix {rest!r} in method {name!r}")
+        return cls(k=k, d=int(digits), css=css, nb=nb)
+
+
+@dataclass
+class EstimationResult:
+    """Outcome of one estimation run.
+
+    ``sums`` holds the re-weighted indicator sums S_i per graphlet type
+    (catalog order); everything the paper reports derives from them.
+    """
+
+    k: int
+    method: str
+    d: int
+    steps: int
+    valid_samples: int
+    sums: np.ndarray
+    sample_counts: np.ndarray
+    elapsed_seconds: float
+    api_calls: Optional[int] = None
+    unreachable: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def concentrations(self) -> np.ndarray:
+        """Estimated concentrations c^_i (Eq. 5 / Eq. 8), catalog order.
+
+        Types unreachable under the chosen walk (alpha = 0) receive 0; the
+        estimate is then the relative concentration among reachable types
+        (paper footnote 3).
+        """
+        total = float(self.sums.sum())
+        if total <= 0:
+            return np.zeros_like(self.sums)
+        return self.sums / total
+
+    def concentration_dict(self) -> Dict[str, float]:
+        """Concentrations keyed by graphlet name."""
+        values = self.concentrations
+        return {g.name: float(values[g.index]) for g in graphlets(self.k)}
+
+    def counts(self, relationship_edges: int) -> np.ndarray:
+        """Estimated absolute counts C^_i (Eq. 4 / Eq. 7).
+
+        Requires |R(d)| (closed forms exist for d <= 2, see
+        :func:`repro.relgraph.relationship_edge_count`).
+        """
+        if self.steps <= 0:
+            raise ValueError("no steps taken")
+        return 2.0 * relationship_edges * self.sums / self.steps
+
+    def concentration_of(self, name: str) -> float:
+        """Concentration of a graphlet selected by catalog name."""
+        return self.concentration_dict()[name]
+
+
+def run_estimation(
+    graph,
+    spec: MethodSpec,
+    steps: int,
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+    burn_in: int = 0,
+) -> EstimationResult:
+    """Algorithm 1: estimate k-node graphlet statistics with ``steps``
+    random-walk transitions.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graphs.Graph` or
+        :class:`~repro.graphs.RestrictedGraph` (API calls are then counted
+        into the result).
+    spec:
+        Method specification (k, d, CSS/NB flags).
+    steps:
+        Number of walk transitions n; every transition contributes one
+        window, valid or not, exactly as in Algorithm 1.
+    burn_in:
+        Optional transitions discarded before sampling starts (the paper
+        relies on SLLN asymptotics and uses none).
+    """
+    return _run_walk(graph, spec, [steps], rng, seed_node, burn_in)[-1]
+
+
+def _run_walk(
+    graph,
+    spec: MethodSpec,
+    checkpoints: List[int],
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+    burn_in: int = 0,
+) -> List[EstimationResult]:
+    """Shared walk loop; snapshots the running sums at each checkpoint
+    (ascending, the last one being the total step count)."""
+    if not checkpoints or checkpoints != sorted(set(checkpoints)):
+        raise ValueError("checkpoints must be distinct and ascending")
+    steps = checkpoints[-1]
+    if checkpoints[0] <= 0:
+        raise ValueError(f"steps must be positive, got {checkpoints[0]}")
+    rng = rng if rng is not None else random.Random()
+    space = walk_space(spec.d)
+    walker = make_walk(graph, space, non_backtracking=spec.nb, rng=rng, seed_node=seed_node)
+    k, d, l = spec.k, spec.d, spec.l
+    alphas = alpha_table(k, d)
+    num_types = len(alphas)
+    sums = np.zeros(num_types)
+    sample_counts = np.zeros(num_types, dtype=np.int64)
+
+    cheap_degree = d <= 2
+    if d == 1:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return graph.degree(state[0])
+    elif d == 2:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return graph.degree(state[0]) + graph.degree(state[1]) - 2
+    else:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return space.degree(graph, state)
+
+    if spec.nb:
+        def effective_degree(state: Tuple[int, ...]) -> int:
+            return nominal_degree(state_degree(state))
+    else:
+        effective_degree = state_degree
+
+    start_time = time.perf_counter()
+    for _ in range(burn_in):
+        walker.step()
+
+    # Build the initial window of l states (Algorithm 1 line 3) and the
+    # multiset of covered nodes.
+    window: List[Tuple[int, ...]] = [walker.state]
+    for _ in range(l - 1):
+        window.append(walker.step())
+    node_multiplicity: Dict[int, int] = {}
+    for state in window:
+        for v in state:
+            node_multiplicity[v] = node_multiplicity.get(v, 0) + 1
+
+    # Degrees of window states, computed once per state on entry (reused as
+    # the state slides through the middle positions).  Not needed when the
+    # window has no middle (l <= 2) and the basic estimator is in use.
+    need_degrees = l > 2
+    window_degrees: List[int] = (
+        [effective_degree(s) for s in window] if need_degrees else [0] * l
+    )
+
+    valid_samples = 0
+    checkpoint_set = set(checkpoints)
+    snapshots: List[EstimationResult] = []
+
+    def snapshot(at_step: int) -> EstimationResult:
+        return EstimationResult(
+            k=k,
+            method=spec.name,
+            d=d,
+            steps=at_step,
+            valid_samples=valid_samples,
+            sums=sums.copy(),
+            sample_counts=sample_counts.copy(),
+            elapsed_seconds=time.perf_counter() - start_time,
+            api_calls=getattr(graph, "api_calls", None),
+            unreachable=tuple(i for i, a in enumerate(alphas) if a == 0),
+        )
+
+    neighbor_set = graph.neighbor_set
+    for step_index in range(steps):
+        if len(node_multiplicity) == k:
+            nodes = sorted(node_multiplicity)
+            # Labeled bitmask of the induced subgraph over the sorted nodes.
+            mask = 0
+            bit = 0
+            for i in range(k):
+                u_adj = neighbor_set(nodes[i])
+                for j in range(i + 1, k):
+                    if nodes[j] in u_adj:
+                        mask |= 1 << bit
+                    bit += 1
+            type_index = classify_bitmask(mask, k)
+            if spec.css:
+                p_tilde = sampling_weight(mask, nodes, k, d, effective_degree)
+                weight = 1.0 / p_tilde
+            else:
+                # 1 / (alpha_i * pi~_e) with pi~_e = prod of inverse middle
+                # degrees (Theorem 2); for l = 2 the product is empty.
+                weight = 1.0 / alphas[type_index]
+                for degree in window_degrees[1:-1]:
+                    weight *= degree
+            sums[type_index] += weight
+            sample_counts[type_index] += 1
+            valid_samples += 1
+
+        new_state = walker.step()
+        old_state = window.pop(0)
+        window.append(new_state)
+        for v in old_state:
+            remaining = node_multiplicity[v] - 1
+            if remaining:
+                node_multiplicity[v] = remaining
+            else:
+                del node_multiplicity[v]
+        for v in new_state:
+            node_multiplicity[v] = node_multiplicity.get(v, 0) + 1
+        if need_degrees:
+            window_degrees.pop(0)
+            window_degrees.append(effective_degree(new_state))
+        if step_index + 1 in checkpoint_set:
+            snapshots.append(snapshot(step_index + 1))
+
+    return snapshots

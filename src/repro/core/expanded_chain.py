@@ -1,0 +1,102 @@
+"""The expanded Markov chain M(l) and its stationary distribution.
+
+Theorem 2: for a window ``X = (X_1, ..., X_l)`` of l consecutive states of
+the SRW on G(d),
+
+    pi_e(X) = (1 / 2|R(d)|) * prod_{i=2}^{l-1} 1 / deg(X_i)      (l > 2)
+    pi_e(X) = 1 / 2|R(d)|                                        (l = 2)
+    pi_e(X) = deg(X_1) / 2|R(d)|                                 (l = 1)
+
+The estimators only ever need the *relative* weight
+``pi~_e = 2|R(d)| * pi_e`` (the |R(d)| factor cancels in concentrations —
+§3.3 Remarks), which :func:`stationary_weight` computes from the window's
+state degrees alone.  The NB-SRW variant substitutes nominal degrees
+``d' = max(d - 1, 1)`` (§4.2); callers do that substitution.
+
+The module also provides explicit expanded-chain construction for small
+relationship graphs, used by tests to verify Theorem 2 empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+
+def stationary_weight(state_degrees: Sequence[int]) -> float:
+    """``pi~_e(X) = 2|R(d)| * pi_e(X)`` from window state degrees."""
+    l = len(state_degrees)
+    if l == 0:
+        raise ValueError("empty window")
+    if l == 1:
+        return float(state_degrees[0])
+    if l == 2:
+        return 1.0
+    weight = 1.0
+    for degree in state_degrees[1:-1]:
+        if degree <= 0:
+            raise ValueError(f"non-positive state degree {degree}")
+        weight /= degree
+    return weight
+
+
+def nominal_degree(degree: int) -> int:
+    """NB-SRW nominal degree d' = max(d - 1, 1) (§4.2)."""
+    return degree - 1 if degree > 1 else 1
+
+
+def enumerate_windows(relgraph: Graph, l: int) -> List[Tuple[int, ...]]:
+    """All states of M(l) for an *explicit* relationship graph.
+
+    A state is any length-l walk (consecutive nodes adjacent); revisits are
+    allowed.  Exponential in l — tests only.
+    """
+    if l == 1:
+        return [(v,) for v in relgraph.nodes()]
+    windows: List[Tuple[int, ...]] = []
+
+    def extend(prefix: Tuple[int, ...]) -> None:
+        if len(prefix) == l:
+            windows.append(prefix)
+            return
+        for w in relgraph.neighbors(prefix[-1]):
+            extend(prefix + (w,))
+
+    for v in relgraph.nodes():
+        extend((v,))
+    return windows
+
+
+def expanded_transition_matrix(
+    relgraph: Graph, l: int
+) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
+    """Dense transition matrix of M(l) for an explicit relationship graph.
+
+    Returns the matrix and the window list indexing its rows.  Tests verify
+    that the Theorem 2 formula is the stationary distribution of this
+    matrix.
+    """
+    windows = enumerate_windows(relgraph, l)
+    index: Dict[Tuple[int, ...], int] = {w: i for i, w in enumerate(windows)}
+    matrix = np.zeros((len(windows), len(windows)))
+    for w, i in index.items():
+        last = w[-1]
+        neighbors = relgraph.neighbors(last)
+        p = 1.0 / len(neighbors)
+        for nxt in neighbors:
+            target = w[1:] + (nxt,) if l > 1 else (nxt,)
+            matrix[i, index[target]] = p
+    return matrix, windows
+
+
+def theorem2_distribution(relgraph: Graph, windows: List[Tuple[int, ...]]) -> np.ndarray:
+    """The closed-form pi_e of Theorem 2 evaluated on explicit windows."""
+    two_r = 2.0 * relgraph.num_edges
+    values = np.empty(len(windows))
+    for i, w in enumerate(windows):
+        degs = [relgraph.degree(x) for x in w]
+        values[i] = stationary_weight(degs) / two_r
+    return values

@@ -1,0 +1,125 @@
+"""High-level public API for the estimation framework.
+
+Wraps :mod:`repro.core.estimator` behind the paper's method-name grammar::
+
+    est = GraphletEstimator(graph, k=4, method="SRW2CSS", seed=7)
+    result = est.run(steps=20_000)
+    result.concentration_dict()
+
+Convenience one-shots :func:`estimate_concentration` and
+:func:`estimate_counts` cover the two quantities the paper reports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graphlets.catalog import graphlets
+from ..relgraph.construct import relationship_edge_count
+from .estimator import EstimationResult, MethodSpec, run_estimation
+
+
+def recommended_method(k: int) -> str:
+    """The paper's §6.2 recommendation: SRW1CSSNB for 3-node graphlets,
+    SRW2CSS for 4- and 5-node graphlets."""
+    return "SRW1CSSNB" if k == 3 else "SRW2CSS"
+
+
+class GraphletEstimator:
+    """Random-walk graphlet statistics estimator (the paper's framework).
+
+    Parameters
+    ----------
+    graph:
+        :class:`~repro.graphs.Graph` or
+        :class:`~repro.graphs.RestrictedGraph`.
+    k:
+        Graphlet size (3, 4 or 5).
+    method:
+        Paper-style method string ``SRW{d}[CSS][NB]``; defaults to the
+        paper's recommended method for ``k``.
+    seed:
+        RNG seed (None for nondeterministic).
+    seed_node:
+        Walk starting node (e.g. the crawl seed under restricted access).
+    """
+
+    def __init__(
+        self,
+        graph,
+        k: int,
+        method: Optional[str] = None,
+        seed: Optional[int] = None,
+        seed_node: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.spec = MethodSpec.parse(method or recommended_method(k), k)
+        self.rng = random.Random(seed)
+        self.seed_node = seed_node
+        self.last_result: Optional[EstimationResult] = None
+
+    @property
+    def method(self) -> str:
+        """Resolved method name."""
+        return self.spec.name
+
+    def run(self, steps: int, burn_in: int = 0) -> EstimationResult:
+        """Run the walk for ``steps`` transitions and estimate."""
+        result = run_estimation(
+            self.graph,
+            self.spec,
+            steps,
+            rng=self.rng,
+            seed_node=self.seed_node,
+            burn_in=burn_in,
+        )
+        self.last_result = result
+        return result
+
+
+def estimate_concentration(
+    graph,
+    k: int,
+    steps: int,
+    method: Optional[str] = None,
+    seed: Optional[int] = None,
+    seed_node: int = 0,
+    burn_in: int = 0,
+) -> Dict[str, float]:
+    """One-shot concentration estimate, keyed by graphlet name."""
+    estimator = GraphletEstimator(graph, k, method=method, seed=seed, seed_node=seed_node)
+    return estimator.run(steps, burn_in=burn_in).concentration_dict()
+
+
+def estimate_counts(
+    graph,
+    k: int,
+    steps: int,
+    method: Optional[str] = None,
+    seed: Optional[int] = None,
+    seed_node: int = 0,
+    relationship_edges: Optional[int] = None,
+    burn_in: int = 0,
+) -> Dict[str, float]:
+    """One-shot absolute-count estimate (Eq. 4 / Eq. 7).
+
+    Counts additionally need |R(d)| (§3.3 Remarks).  For d <= 2 it has a
+    closed form computable in one pass over the (full-access) graph; pass
+    ``relationship_edges`` explicitly under restricted access if a separate
+    estimate of it is available.
+    """
+    estimator = GraphletEstimator(graph, k, method=method, seed=seed, seed_node=seed_node)
+    result = estimator.run(steps, burn_in=burn_in)
+    if relationship_edges is None:
+        base = getattr(graph, "_graph", graph)  # unwrap RestrictedGraph
+        relationship_edges = relationship_edge_count(base, result.d)
+    counts = result.counts(relationship_edges)
+    return {g.name: float(counts[g.index]) for g in graphlets(k)}
+
+
+def concentration_array(result: EstimationResult) -> np.ndarray:
+    """Concentrations of a result as a catalog-ordered array."""
+    return result.concentrations

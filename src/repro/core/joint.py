@@ -1,0 +1,155 @@
+"""Joint multi-size estimation from a single walk (the MSS idea).
+
+Wang et al. [36] extend PSRW to *mix subgraph sampling* (MSS), estimating
+(k-1)-, k- and (k+1)-node graphlet statistics simultaneously from one
+random walk.  The same trick generalizes to this paper's framework: one
+walk on G(d) carries, for every graphlet size k >= d + 1, a sliding window
+of length ``l_k = k - d + 1`` — so a single SRW on G(2) can estimate 3-,
+4- and 5-node concentrations at once, amortizing the crawl cost (which,
+under restricted access, is the expensive part).
+
+Each size gets the standard unbiased weighting (basic or CSS), so every
+marginal estimator is exactly the one analyzed in §3/§4; only the walk is
+shared.  This module is the library's implementation of the paper's
+"future work" direction and is exercised by the joint-estimation tests and
+the crawling example.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphlets.catalog import classify_bitmask, graphlets
+from ..relgraph.spaces import walk_space
+from ..walks.walkers import make_walk
+from .alpha import alpha_table
+from .css import sampling_weight
+from .estimator import EstimationResult
+from .expanded_chain import nominal_degree
+
+
+def run_joint_estimation(
+    graph,
+    ks: Sequence[int],
+    d: int,
+    steps: int,
+    css: bool = False,
+    nb: bool = False,
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+) -> Dict[int, EstimationResult]:
+    """Estimate graphlet statistics for several sizes from one walk on G(d).
+
+    Parameters
+    ----------
+    ks:
+        Graphlet sizes, each >= max(3, d + 1) (the window must have length
+        >= 2).  CSS additionally requires ``k - d + 1 > 2``.
+    d, steps, css, nb, seed_node:
+        As in :func:`repro.core.estimator.run_estimation`; one walk of
+        ``steps`` transitions is shared by all sizes.
+
+    Returns
+    -------
+    dict k -> EstimationResult, each carrying the method name
+    ``SRW{d}[CSS][NB]`` and the shared step count.
+    """
+    sizes = sorted(set(ks))
+    if not sizes:
+        raise ValueError("ks must be non-empty")
+    for k in sizes:
+        if k < 3:
+            raise ValueError(f"graphlet size {k} < 3")
+        if k - d + 1 < 2:
+            raise ValueError(f"k={k} needs d <= k - 1 (got d={d})")
+        # For sizes with l = 2 (k = d + 1), CSS degenerates to the basic
+        # weighting (p~ = alpha); sampling_weight handles that uniformly,
+        # so mixed window lengths need no special-casing.
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+
+    rng = rng if rng is not None else random.Random()
+    space = walk_space(d)
+    walker = make_walk(graph, space, non_backtracking=nb, rng=rng, seed_node=seed_node)
+
+    if d == 1:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return graph.degree(state[0])
+    elif d == 2:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return graph.degree(state[0]) + graph.degree(state[1]) - 2
+    else:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return space.degree(graph, state)
+
+    if nb:
+        def effective_degree(state: Tuple[int, ...]) -> int:
+            return nominal_degree(state_degree(state))
+    else:
+        effective_degree = state_degree
+
+    alphas = {k: alpha_table(k, d) for k in sizes}
+    sums = {k: np.zeros(len(alphas[k])) for k in sizes}
+    sample_counts = {k: np.zeros(len(alphas[k]), dtype=np.int64) for k in sizes}
+    valid = {k: 0 for k in sizes}
+
+    max_l = max(k - d + 1 for k in sizes)
+    window = [walker.state]
+    for _ in range(max_l - 1):
+        window.append(walker.step())
+    degrees = [effective_degree(s) for s in window]
+
+    neighbor_set = graph.neighbor_set
+    start_time = time.perf_counter()
+    for _ in range(steps):
+        for k in sizes:
+            l = k - d + 1
+            tail = window[max_l - l :]
+            nodes = sorted({v for state in tail for v in state})
+            if len(nodes) != k:
+                continue
+            mask = 0
+            bit = 0
+            for i in range(k):
+                u_adj = neighbor_set(nodes[i])
+                for j in range(i + 1, k):
+                    if nodes[j] in u_adj:
+                        mask |= 1 << bit
+                    bit += 1
+            type_index = classify_bitmask(mask, k)
+            if css:
+                weight = 1.0 / sampling_weight(mask, nodes, k, d, effective_degree)
+            else:
+                weight = 1.0 / alphas[k][type_index]
+                for degree in degrees[max_l - l + 1 : max_l - 1]:
+                    weight *= degree
+            sums[k][type_index] += weight
+            sample_counts[k][type_index] += 1
+            valid[k] += 1
+
+        window.pop(0)
+        window.append(walker.step())
+        degrees.pop(0)
+        degrees.append(effective_degree(window[-1]))
+
+    elapsed = time.perf_counter() - start_time
+    method = f"SRW{d}" + ("CSS" if css else "") + ("NB" if nb else "")
+    return {
+        k: EstimationResult(
+            k=k,
+            method=method,
+            d=d,
+            steps=steps,
+            valid_samples=valid[k],
+            sums=sums[k],
+            sample_counts=sample_counts[k],
+            elapsed_seconds=elapsed,
+            api_calls=getattr(graph, "api_calls", None),
+            unreachable=tuple(i for i, a in enumerate(alphas[k]) if a == 0),
+        )
+        for k in sizes
+    }

@@ -1,0 +1,66 @@
+"""Convergence studies: NRMSE as a function of walk steps (Figure 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..exact import exact_concentrations_cached
+from ..graphs.graph import Graph
+from .runner import random_start_nodes, run_trials
+
+
+@dataclass
+class ConvergenceCurve:
+    """NRMSE of one method at increasing sample sizes."""
+
+    method: str
+    k: int
+    target_index: int
+    steps: List[int]
+    nrmse: List[float]
+
+    def is_improving(self) -> bool:
+        """Whether error at the largest budget beats the smallest one —
+        the qualitative claim of Figure 6."""
+        return self.nrmse[-1] < self.nrmse[0]
+
+
+def convergence_sweep(
+    graph: Graph,
+    k: int,
+    methods: Sequence[str],
+    step_grid: Sequence[int],
+    trials: int,
+    target_index: int,
+    truth: Optional[Dict[int, float]] = None,
+    base_seed: int = 0,
+) -> List[ConvergenceCurve]:
+    """NRMSE vs steps for several methods on one graphlet type."""
+    if truth is None:
+        truth = exact_concentrations_cached(graph, k)
+    starts = random_start_nodes(graph, trials, seed=base_seed)
+    curves = []
+    for method in methods:
+        errors = []
+        for steps in step_grid:
+            summary = run_trials(
+                graph,
+                k,
+                method,
+                steps,
+                trials,
+                base_seed=base_seed,
+                start_nodes=starts,
+            )
+            errors.append(summary.nrmse_for(truth, target_index))
+        curves.append(
+            ConvergenceCurve(
+                method=method,
+                k=k,
+                target_index=target_index,
+                steps=list(step_grid),
+                nrmse=errors,
+            )
+        )
+    return curves

@@ -1,0 +1,83 @@
+"""MCMC diagnostics for single-run estimates.
+
+The paper quantifies error by repeating runs (NRMSE over up to 1,000
+simulations) — available only when ground truth and cheap re-runs exist.
+A practitioner crawling a live OSN gets *one* walk; these diagnostics
+attach error bars to that single run:
+
+* :func:`batch_means_standard_error` — the classic batch-means estimator
+  of the Markov-chain standard error, applied to a concentration
+  trajectory derived from checkpoint snapshots;
+* :func:`geweke_z_score` — a stationarity check comparing the early and
+  late parts of the trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.estimator import EstimationResult
+
+
+def concentration_trajectory(
+    snapshots: Sequence[EstimationResult], graphlet_index: int
+) -> List[float]:
+    """Per-checkpoint concentration estimates for one type."""
+    if not snapshots:
+        raise ValueError("no snapshots")
+    return [float(s.concentrations[graphlet_index]) for s in snapshots]
+
+
+def batch_increments(
+    snapshots: Sequence[EstimationResult], graphlet_index: int
+) -> List[float]:
+    """Per-batch concentration estimates from consecutive snapshots.
+
+    Snapshot sums are cumulative, so consecutive differences are the
+    disjoint-batch sums the batch-means method needs.  Checkpoints should
+    be equally spaced for the classic estimator.
+    """
+    if len(snapshots) < 2:
+        raise ValueError("need at least two snapshots")
+    values = []
+    for earlier, later in zip(snapshots, snapshots[1:]):
+        delta = later.sums - earlier.sums
+        total = float(delta.sum())
+        values.append(float(delta[graphlet_index]) / total if total > 0 else 0.0)
+    return values
+
+
+def batch_means_standard_error(
+    snapshots: Sequence[EstimationResult], graphlet_index: int
+) -> float:
+    """Batch-means standard error of the final concentration estimate.
+
+    With b equally long batches of per-batch estimates y_1..y_b, the SE of
+    their mean is ``std(y, ddof=1) / sqrt(b)`` — a consistent estimate of
+    the Markov-chain error when batches are longer than the mixing time.
+    """
+    batches = batch_increments(snapshots, graphlet_index)
+    if len(batches) < 2:
+        raise ValueError("need at least two batches")
+    array = np.asarray(batches)
+    return float(array.std(ddof=1) / math.sqrt(len(batches)))
+
+
+def geweke_z_score(
+    trajectory: Sequence[float], first: float = 0.2, last: float = 0.5
+) -> float:
+    """Geweke's convergence z-score between the first and last fractions
+    of a trajectory (|z| >> 2 signals non-stationarity)."""
+    values = np.asarray(list(trajectory), dtype=float)
+    n = values.size
+    if n < 10:
+        raise ValueError("trajectory too short for a Geweke diagnostic")
+    head = values[: max(2, int(first * n))]
+    tail = values[-max(2, int(last * n)):]
+    pooled = head.var(ddof=1) / head.size + tail.var(ddof=1) / tail.size
+    if pooled == 0:
+        return 0.0
+    return float((head.mean() - tail.mean()) / math.sqrt(pooled))

@@ -1,0 +1,88 @@
+"""Terminal plotting: ASCII line charts and bar charts.
+
+The paper's figures are matplotlib plots; in this offline reproduction the
+benchmark harness renders the same series as text so results are visible in
+CI logs and terminals without a display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def ascii_bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    title: str = "",
+    value_format: str = "{:.4f}",
+) -> str:
+    """Horizontal bar chart keyed by label."""
+    if not values:
+        raise ValueError("no values to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series gets a marker from ``*+ox@`` in insertion order; axes are
+    labeled with the data extremes.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox@"
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"{y_max:.4g} +" + "-" * width)
+    for row in grid:
+        lines.append("       |" + "".join(row))
+    lines.append(f"{y_min:.4g} +" + "-" * width)
+    lines.append(f"        x: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"        {legend}")
+    return "\n".join(lines)
+
+
+def convergence_chart(curves, title: str = "") -> str:
+    """Render :class:`~repro.evaluation.ConvergenceCurve` objects."""
+    if not curves:
+        raise ValueError("no curves")
+    x = curves[0].steps
+    series = {curve.method: curve.nrmse for curve in curves}
+    return ascii_line_chart(x, series, title=title or "NRMSE vs walk steps")

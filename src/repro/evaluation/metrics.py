@@ -1,0 +1,50 @@
+"""Accuracy metrics (§6.1).
+
+The paper's headline metric is the normalized root mean square error
+
+    NRMSE(c^) = sqrt(E[(c^ - c)^2]) / c
+              = sqrt(Var[c^] + (c - E[c^])^2) / c
+
+estimated over repeated independent runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def nrmse(estimates: Sequence[float], truth: float) -> float:
+    """NRMSE of repeated estimates against a known ground truth."""
+    if truth == 0:
+        raise ValueError("NRMSE undefined for zero ground truth")
+    values = np.asarray(list(estimates), dtype=float)
+    if values.size == 0:
+        raise ValueError("no estimates given")
+    return float(np.sqrt(np.mean((values - truth) ** 2)) / abs(truth))
+
+
+def relative_bias(estimates: Sequence[float], truth: float) -> float:
+    """(E[c^] - c) / c."""
+    if truth == 0:
+        raise ValueError("relative bias undefined for zero ground truth")
+    values = np.asarray(list(estimates), dtype=float)
+    return float((values.mean() - truth) / truth)
+
+
+def relative_std(estimates: Sequence[float], truth: float) -> float:
+    """std[c^] / c — the variance component of the NRMSE."""
+    if truth == 0:
+        raise ValueError("relative std undefined for zero ground truth")
+    values = np.asarray(list(estimates), dtype=float)
+    return float(values.std(ddof=0) / abs(truth))
+
+
+def decompose_nrmse(estimates: Sequence[float], truth: float) -> dict:
+    """NRMSE with its bias/variance decomposition."""
+    return {
+        "nrmse": nrmse(estimates, truth),
+        "relative_bias": relative_bias(estimates, truth),
+        "relative_std": relative_std(estimates, truth),
+    }

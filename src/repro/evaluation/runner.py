@@ -1,0 +1,124 @@
+"""Multi-trial experiment runners.
+
+The paper estimates NRMSE over up to 1,000 independent simulations
+(§6.2.1).  :func:`run_trials` repeats an estimation method with distinct
+seeds and collects the per-type concentration estimates;
+:func:`nrmse_table` reduces those to NRMSE against exact ground truth —
+the quantity plotted in Figures 4, 6, 7 and 8.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.estimator import EstimationResult, MethodSpec, run_estimation
+from ..exact import exact_concentrations_cached
+from ..graphlets.catalog import graphlets
+from ..graphs.graph import Graph
+from .metrics import nrmse
+
+
+@dataclass
+class TrialSummary:
+    """Concentration estimates from repeated runs of one method."""
+
+    k: int
+    method: str
+    steps: int
+    trials: int
+    estimates: np.ndarray  # shape (trials, num_types)
+    mean_elapsed: float
+    mean_valid_samples: float
+
+    def nrmse_for(self, truth: Dict[int, float], index: int) -> float:
+        """NRMSE for one graphlet type against exact concentrations."""
+        return nrmse(self.estimates[:, index], truth[index])
+
+    def nrmse_all(self, truth: Dict[int, float]) -> Dict[int, float]:
+        """NRMSE per graphlet type (skipping zero-truth types)."""
+        return {
+            index: nrmse(self.estimates[:, index], value)
+            for index, value in truth.items()
+            if value > 0
+        }
+
+
+def run_trials(
+    graph,
+    k: int,
+    method: str,
+    steps: int,
+    trials: int,
+    base_seed: int = 0,
+    seed_node: int = 0,
+    start_nodes: Optional[Sequence[int]] = None,
+) -> TrialSummary:
+    """Repeat one method ``trials`` times with seeds ``base_seed + t``.
+
+    ``start_nodes`` optionally randomizes the walk's starting point per
+    trial (the paper starts each simulation independently).
+    """
+    spec = MethodSpec.parse(method, k)
+    num_types = len(graphlets(k))
+    estimates = np.zeros((trials, num_types))
+    elapsed = 0.0
+    valid = 0.0
+    for t in range(trials):
+        rng = random.Random(base_seed + t)
+        node = start_nodes[t % len(start_nodes)] if start_nodes else seed_node
+        result = run_estimation(graph, spec, steps, rng=rng, seed_node=node)
+        estimates[t] = result.concentrations
+        elapsed += result.elapsed_seconds
+        valid += result.valid_samples
+    return TrialSummary(
+        k=k,
+        method=spec.name,
+        steps=steps,
+        trials=trials,
+        estimates=estimates,
+        mean_elapsed=elapsed / trials,
+        mean_valid_samples=valid / trials,
+    )
+
+
+def random_start_nodes(graph: Graph, trials: int, seed: int = 0) -> List[int]:
+    """Per-trial random start nodes (degree >= 1)."""
+    rng = random.Random(seed)
+    candidates = [v for v in graph.nodes() if graph.degree(v) > 0]
+    return [candidates[rng.randrange(len(candidates))] for _ in range(trials)]
+
+
+def nrmse_table(
+    graph: Graph,
+    k: int,
+    methods: Sequence[str],
+    steps: int,
+    trials: int,
+    target_index: int,
+    truth: Optional[Dict[int, float]] = None,
+    base_seed: int = 0,
+) -> Dict[str, float]:
+    """NRMSE of one graphlet type for several methods — one Figure 4 group."""
+    if truth is None:
+        truth = exact_concentrations_cached(graph, k)
+    starts = random_start_nodes(graph, trials, seed=base_seed)
+    table = {}
+    for method in methods:
+        summary = run_trials(
+            graph, k, method, steps, trials, base_seed=base_seed, start_nodes=starts
+        )
+        table[method] = summary.nrmse_for(truth, target_index)
+    return table
+
+
+def run_custom_trials(
+    estimator: Callable[[int], float],
+    trials: int,
+) -> np.ndarray:
+    """Collect scalar estimates from an arbitrary seeded estimator callable
+    (used for baseline methods that do not return EstimationResult)."""
+    return np.array([estimator(t) for t in range(trials)], dtype=float)

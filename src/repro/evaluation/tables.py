@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness regenerates the paper's tables/figures as aligned
+text tables; this keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned text table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def dict_rows(data: Dict[str, Dict[str, object]], key_header: str = "key") -> tuple:
+    """Convert nested dicts {row: {col: val}} to (headers, rows)."""
+    columns: List[str] = []
+    for inner in data.values():
+        for col in inner:
+            if col not in columns:
+                columns.append(col)
+    headers = [key_header] + columns
+    rows = [
+        [row_key] + [inner.get(col, "") for col in columns]
+        for row_key, inner in data.items()
+    ]
+    return headers, rows

@@ -1,0 +1,192 @@
+"""Canonical forms for small graphs (k <= 7 nodes).
+
+Graphlet classification reduces every sampled induced subgraph to a
+*canonical certificate*: the minimum edge-bitmask over all relabelings of
+its nodes.  For the graphlet sizes the paper considers (k <= 5) this brute
+force is tiny (at most 5! = 120 permutations over <= 10 bits) and — unlike
+degree signatures, which collide for k = 5 — is a complete isomorphism
+invariant.
+
+Bitmask convention: the nodes of a k-node labeled graph are ``0 .. k-1`` and
+the unordered pair ``(i, j)`` with ``i < j`` maps to bit
+:func:`pair_index` ``(i, j, k)``.  All modules in the library share this
+convention, which is what makes the labeled-pattern caches in
+:mod:`repro.core.css` and :mod:`repro.graphlets.catalog` possible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations, permutations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+LabeledEdge = Tuple[int, int]
+
+
+def pair_index(i: int, j: int, k: int) -> int:
+    """Bit position of unordered pair ``(i, j)`` (``i < j``) among k nodes.
+
+    Pairs are ordered lexicographically: (0,1), (0,2), ..., (0,k-1), (1,2), ...
+    """
+    if i > j:
+        i, j = j, i
+    if i == j or j >= k:
+        raise ValueError(f"invalid pair ({i}, {j}) for k={k}")
+    # Pairs starting with 0..i-1 come first: sum_{a<i} (k-1-a) of them.
+    return i * (2 * k - i - 1) // 2 + (j - i - 1)
+
+
+@lru_cache(maxsize=None)
+def pair_table(k: int) -> Tuple[Tuple[int, int], ...]:
+    """Inverse of :func:`pair_index`: bit position -> (i, j)."""
+    return tuple((i, j) for i in range(k) for j in range(i + 1, k))
+
+
+def edges_to_bitmask(edges: Iterable[LabeledEdge], k: int) -> int:
+    """Edge list on nodes 0..k-1 -> bitmask."""
+    mask = 0
+    for i, j in edges:
+        mask |= 1 << pair_index(i, j, k)
+    return mask
+
+
+def bitmask_to_edges(mask: int, k: int) -> List[LabeledEdge]:
+    """Bitmask -> sorted edge list on nodes 0..k-1."""
+    table = pair_table(k)
+    return [table[b] for b in range(len(table)) if mask >> b & 1]
+
+
+def relabel_bitmask(mask: int, perm: Sequence[int], k: int) -> int:
+    """Apply node relabeling ``i -> perm[i]`` to an edge bitmask."""
+    table = pair_table(k)
+    out = 0
+    for b, (i, j) in enumerate(table):
+        if mask >> b & 1:
+            out |= 1 << pair_index(perm[i], perm[j], k)
+    return out
+
+
+@lru_cache(maxsize=None)
+def _bit_permutations(k: int) -> Tuple[Tuple[int, ...], ...]:
+    """For every node permutation, the induced permutation of bit positions."""
+    table = pair_table(k)
+    index = {pair: b for b, pair in enumerate(table)}
+    result = []
+    for perm in permutations(range(k)):
+        mapping = tuple(
+            index[(perm[i], perm[j])] if perm[i] < perm[j] else index[(perm[j], perm[i])]
+            for i, j in table
+        )
+        result.append(mapping)
+    return tuple(result)
+
+
+@lru_cache(maxsize=1 << 16)
+def canonical_certificate(mask: int, k: int) -> int:
+    """Minimum bitmask over all node relabelings — a complete invariant.
+
+    Two k-node labeled graphs are isomorphic iff their certificates are
+    equal.  Cached, and driven by precomputed bit-permutation tables: at
+    runtime only a few hundred distinct labeled patterns occur per graph, so
+    the permutation scan amortizes away.
+    """
+    num_bits = len(pair_table(k))
+    set_bits = [b for b in range(num_bits) if mask >> b & 1]
+    best = mask
+    for bit_perm in _bit_permutations(k):
+        out = 0
+        for b in set_bits:
+            out |= 1 << bit_perm[b]
+        if out < best:
+            best = out
+    return best
+
+
+def certificate_of_edges(edges: Iterable[LabeledEdge], k: int) -> int:
+    """Canonical certificate of an edge list on nodes 0..k-1."""
+    return canonical_certificate(edges_to_bitmask(edges, k), k)
+
+
+def are_isomorphic(edges_a: Iterable[LabeledEdge], edges_b: Iterable[LabeledEdge], k: int) -> bool:
+    """Isomorphism test between two k-node labeled graphs."""
+    return certificate_of_edges(edges_a, k) == certificate_of_edges(edges_b, k)
+
+
+def find_isomorphism(
+    edges_a: Iterable[LabeledEdge], edges_b: Iterable[LabeledEdge], k: int
+) -> Tuple[int, ...]:
+    """A node mapping ``perm`` with ``perm[a-node] = b-node``, or raise.
+
+    Brute force over permutations; intended for tests and the template
+    machinery, not hot paths.
+    """
+    mask_a = edges_to_bitmask(edges_a, k)
+    mask_b = edges_to_bitmask(edges_b, k)
+    for perm in permutations(range(k)):
+        if relabel_bitmask(mask_a, perm, k) == mask_b:
+            return perm
+    raise ValueError("graphs are not isomorphic")
+
+
+def degree_sequence_of_mask(mask: int, k: int) -> Tuple[int, ...]:
+    """Sorted (descending) degree sequence of a labeled k-node graph."""
+    degrees = [0] * k
+    for b, (i, j) in enumerate(pair_table(k)):
+        if mask >> b & 1:
+            degrees[i] += 1
+            degrees[j] += 1
+    return tuple(sorted(degrees, reverse=True))
+
+
+def is_connected_mask(mask: int, k: int) -> bool:
+    """Connectivity of a labeled k-node graph given as a bitmask."""
+    if k == 0:
+        return False
+    adjacency: List[List[int]] = [[] for _ in range(k)]
+    for b, (i, j) in enumerate(pair_table(k)):
+        if mask >> b & 1:
+            adjacency[i].append(j)
+            adjacency[j].append(i)
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for v in adjacency[u]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == k
+
+
+def automorphism_count(mask: int, k: int) -> int:
+    """Number of automorphisms of the labeled graph."""
+    return sum(1 for perm in permutations(range(k)) if relabel_bitmask(mask, perm, k) == mask)
+
+
+def connected_subsets(
+    edges: Sequence[LabeledEdge], k: int, size: int
+) -> List[FrozenSet[int]]:
+    """All ``size``-node subsets of a k-node labeled graph whose induced
+    subgraph is connected.
+
+    Used by the alpha-coefficient and CSS-template machinery, where the host
+    graph is itself a graphlet (k <= 5), so brute force over subsets is fine.
+    """
+    adjacency: List[set] = [set() for _ in range(k)]
+    for i, j in edges:
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    result = []
+    for subset in combinations(range(k), size):
+        subset_set = set(subset)
+        stack = [subset[0]]
+        seen = {subset[0]}
+        while stack:
+            u = stack.pop()
+            for v in adjacency[u]:
+                if v in subset_set and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        if len(seen) == size:
+            result.append(frozenset(subset))
+    return result

@@ -1,0 +1,90 @@
+"""Degree-signature classification (the paper's §5 fast path).
+
+The paper identifies sampled graphlet types by comparing *degree signatures*
+(the sorted degree sequence of the induced subgraph), citing GUISE [6].
+Signatures are a complete invariant for connected graphs with k <= 4 but
+**collide** for k = 5 (e.g. the tadpole and the banner both have signature
+(3, 2, 2, 2, 1)).  This module provides
+
+* :func:`signature_candidates` — signature -> candidate graphlet indices,
+* :func:`classify_by_signature` — fast path that falls back to the canonical
+  certificate only on ambiguous signatures, and
+* :func:`ambiguous_signatures` — the collision inventory, used by tests and
+  by the cache-ablation benchmark.
+
+In this library the labeled-bitmask cache in :mod:`repro.graphlets.catalog`
+already amortizes full canonicalization, so the signature path is an
+alternative classifier kept for fidelity with the paper and for
+cross-validation; both classifiers must always agree.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from .catalog import graphlets
+from .isomorphism import canonical_certificate, degree_sequence_of_mask
+
+Signature = Tuple[int, ...]
+
+
+@lru_cache(maxsize=None)
+def signature_table(k: int) -> Dict[Signature, Tuple[int, ...]]:
+    """Map descending degree sequence -> tuple of candidate graphlet indices."""
+    table: Dict[Signature, List[int]] = {}
+    for g in graphlets(k):
+        table.setdefault(g.degree_sequence, []).append(g.index)
+    return {sig: tuple(indices) for sig, indices in table.items()}
+
+
+def signature_candidates(signature: Signature, k: int) -> Tuple[int, ...]:
+    """Graphlet indices whose degree sequence equals ``signature``."""
+    return signature_table(k).get(tuple(signature), ())
+
+
+@lru_cache(maxsize=None)
+def ambiguous_signatures(k: int) -> Dict[Signature, Tuple[int, ...]]:
+    """Signatures shared by more than one graphlet type."""
+    return {
+        sig: indices
+        for sig, indices in signature_table(k).items()
+        if len(indices) > 1
+    }
+
+
+def signature_of_bitmask(mask: int, k: int) -> Signature:
+    """Descending degree sequence of a labeled k-node graph bitmask."""
+    return degree_sequence_of_mask(mask, k)
+
+
+def classify_by_signature(mask: int, k: int) -> int:
+    """Classify a connected labeled bitmask, signature-first.
+
+    Uses the degree signature when it is unambiguous and falls back to the
+    canonical certificate otherwise.  Equivalent to
+    :func:`repro.graphlets.catalog.classify_bitmask` (tests enforce this).
+    """
+    candidates = signature_candidates(signature_of_bitmask(mask, k), k)
+    if not candidates:
+        raise KeyError(f"bitmask {mask:#x} is not a connected {k}-node graph")
+    if len(candidates) == 1:
+        return candidates[0]
+    cert = canonical_certificate(mask, k)
+    for index in candidates:
+        if graphlets(k)[index].certificate == cert:
+            return index
+    raise KeyError(f"bitmask {mask:#x} matched no graphlet with its signature")
+
+
+def signature_of_nodes(graph, nodes: Sequence[int]) -> Signature:
+    """Descending degree sequence of the induced subgraph on ``nodes``."""
+    node_list = list(nodes)
+    degrees = [0] * len(node_list)
+    for i, u in enumerate(node_list):
+        u_set = graph.neighbor_set(u)
+        for j in range(i + 1, len(node_list)):
+            if node_list[j] in u_set:
+                degrees[i] += 1
+                degrees[j] += 1
+    return tuple(sorted(degrees, reverse=True))

@@ -1,0 +1,83 @@
+"""Edge-list I/O.
+
+Supports the plain whitespace-separated edge-list format used by SNAP /
+KONECT dumps (the paper's data sources): one ``u v`` pair per line, ``#``
+comments, arbitrary (possibly non-contiguous) integer node ids.  Loading
+relabels node ids to ``0 .. n-1`` and returns the mapping.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, IO, Iterable, Iterator, Tuple, Union
+
+from .graph import Graph, GraphError
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def iter_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Yield raw ``(u, v)`` integer pairs from an edge-list file."""
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_no}: expected 'u v', got {stripped!r}")
+            yield int(parts[0]), int(parts[1])
+
+
+def read_edge_list(path: PathLike) -> Tuple[Graph, Dict[int, int]]:
+    """Load an edge-list file into a :class:`Graph`.
+
+    Node ids are relabeled to contiguous ``0 .. n-1``; self-loops are dropped
+    (SNAP dumps occasionally contain them) and duplicate edges collapsed.
+
+    Returns
+    -------
+    (graph, mapping):
+        ``mapping`` maps original id -> new id.
+    """
+    mapping: Dict[int, int] = {}
+    edges = []
+    for u, v in iter_edge_list(path):
+        if u == v:
+            continue
+        for x in (u, v):
+            if x not in mapping:
+                mapping[x] = len(mapping)
+        edges.append((mapping[u], mapping[v]))
+    return Graph(len(mapping), edges), mapping
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write a graph in edge-list format (one ``u v`` per line)."""
+    with _open_text(path, "w") as handle:
+        if header:
+            handle.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def graph_from_pairs(pairs: Iterable[Tuple[int, int]]) -> Graph:
+    """Relabeling constructor for in-memory pairs with arbitrary ids."""
+    mapping: Dict[int, int] = {}
+    edges = []
+    for u, v in pairs:
+        if u == v:
+            continue
+        for x in (u, v):
+            if x not in mapping:
+                mapping[x] = len(mapping)
+        edges.append((mapping[u], mapping[v]))
+    return Graph(len(mapping), edges)

@@ -1,0 +1,93 @@
+"""Subgraph extraction utilities: induced subgraphs, ego networks, k-cores.
+
+Supporting tools for dataset preparation and analysis: the paper's
+preprocessing keeps the LCC (see :mod:`.components`); these helpers cover
+the other common reductions used when studying local structure — ego
+networks (the crawler's view around a seed) and k-cores (where the dense
+graphlets live).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .graph import Graph
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[int]) -> Tuple[Graph, Dict[int, int]]:
+    """The subgraph induced by ``nodes``, relabeled to ``0 .. len-1``.
+
+    Returns the new graph and the old-id -> new-id mapping (sorted order).
+    """
+    node_list = sorted(set(nodes))
+    for v in node_list:
+        if not 0 <= v < graph.num_nodes:
+            raise ValueError(f"node {v} out of range")
+    mapping = {old: new for new, old in enumerate(node_list)}
+    edges = [
+        (mapping[u], mapping[v]) for u, v in graph.induced_edges(node_list)
+    ]
+    return Graph(len(node_list), edges), mapping
+
+
+def ego_network(
+    graph: Graph, center: int, radius: int = 1
+) -> Tuple[Graph, Dict[int, int]]:
+    """The induced subgraph on all nodes within ``radius`` hops of
+    ``center`` (center included)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    seen: Set[int] = {center}
+    frontier = deque([(center, 0)])
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == radius:
+            continue
+        for w in graph.neighbors(node):
+            if w not in seen:
+                seen.add(w)
+                frontier.append((w, depth + 1))
+    return induced_subgraph(graph, seen)
+
+
+def core_numbers(graph: Graph) -> List[int]:
+    """Core number of every node (largest k with the node in the k-core),
+    by the standard peeling algorithm."""
+    degrees = graph.degrees()
+    n = graph.num_nodes
+    order = sorted(range(n), key=degrees.__getitem__)
+    position = {v: i for i, v in enumerate(order)}
+    core = list(degrees)
+    removed = [False] * n
+    for i in range(n):
+        v = order[i]
+        removed[v] = True
+        for w in graph.neighbors(v):
+            if not removed[w] and core[w] > core[v]:
+                core[w] -= 1
+                # Re-bubble w toward the front to keep order sorted by the
+                # updated residual degree.
+                j = position[w]
+                while j > i + 1 and core[order[j - 1]] > core[w]:
+                    order[j], order[j - 1] = order[j - 1], order[j]
+                    position[order[j]] = j
+                    j -= 1
+                position[w] = j
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Tuple[Graph, Dict[int, int]]:
+    """The maximal induced subgraph with all degrees >= k (may be empty)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    cores = core_numbers(graph)
+    keep = [v for v in graph.nodes() if cores[v] >= k]
+    return induced_subgraph(graph, keep)
+
+
+def degeneracy(graph: Graph) -> int:
+    """The graph's degeneracy (maximum core number; 0 for edgeless)."""
+    if graph.num_nodes == 0:
+        return 0
+    return max(core_numbers(graph))

@@ -1,0 +1,29 @@
+"""Subgraph relationship graph G(d): walkable views and explicit builds."""
+
+from .construct import (
+    enumerate_states,
+    relationship_edge_count,
+    relationship_graph,
+)
+from .spaces import (
+    EdgeSpace,
+    NodeSpace,
+    State,
+    SubgraphSpace,
+    WalkSpace,
+    WalkSpaceError,
+    walk_space,
+)
+
+__all__ = [
+    "EdgeSpace",
+    "NodeSpace",
+    "State",
+    "SubgraphSpace",
+    "WalkSpace",
+    "WalkSpaceError",
+    "enumerate_states",
+    "relationship_edge_count",
+    "relationship_graph",
+    "walk_space",
+]

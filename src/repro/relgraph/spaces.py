@@ -1,0 +1,281 @@
+"""Walkable views of the subgraph relationship graph G(d).
+
+A :class:`WalkSpace` exposes exactly the operations a random walk on G(d)
+needs — initial state, uniform random neighbor, state degree — generated *on
+the fly* from the underlying graph, per the paper's §5 ("there is no need to
+construct G(d) in advance").  Three implementations cover the complexity
+regimes the paper distinguishes:
+
+* d = 1 (:class:`NodeSpace`): states are nodes of G; O(1) neighbor sampling.
+* d = 2 (:class:`EdgeSpace`): states are edges; O(1) neighbor sampling via
+  the two-stage endpoint trick of §5 (pick endpoint proportional to degree,
+  then a uniform neighbor, rejecting the other endpoint).
+* d >= 3 (:class:`SubgraphSpace`): states are connected d-node subgraphs;
+  neighbors are enumerated by swapping one node out and one adjacent node
+  in, which is why walks on G(3)/G(4) are an order of magnitude slower
+  (Table 6 reproduces this).
+
+States are represented as sorted node tuples for every d (including d = 1),
+so the estimator layer is uniform.  Spaces work against both
+:class:`repro.graphs.Graph` and :class:`repro.graphs.RestrictedGraph` — the
+only operations used are ``neighbors``, ``neighbor_set`` and ``degree``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+State = Tuple[int, ...]
+
+
+class WalkSpaceError(RuntimeError):
+    """Raised when a walk space cannot operate on the given graph."""
+
+
+def _connected_in(graph, nodes: Sequence[int]) -> bool:
+    """Connectivity of the induced subgraph, via neighbor-set probes."""
+    node_set = set(nodes)
+    first = next(iter(node_set))
+    stack = [first]
+    seen = {first}
+    while stack:
+        u = stack.pop()
+        for v in graph.neighbor_set(u):
+            if v in node_set and v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == len(node_set)
+
+
+class WalkSpace:
+    """Interface for random walks on G(d)."""
+
+    d: int
+
+    def initial_state(self, graph, rng: random.Random, seed_node: int = 0) -> State:
+        """A starting state reachable from ``seed_node``."""
+        raise NotImplementedError
+
+    def random_neighbor(self, graph, state: State, rng: random.Random) -> State:
+        """A uniformly random G(d)-neighbor of ``state``."""
+        raise NotImplementedError
+
+    def neighbors(self, graph, state: State) -> List[State]:
+        """All G(d)-neighbors of ``state`` (used by NB walks for d >= 3,
+        explicit construction, and tests)."""
+        raise NotImplementedError
+
+    def degree(self, graph, state: State) -> int:
+        """Degree of ``state`` in G(d)."""
+        raise NotImplementedError
+
+
+class NodeSpace(WalkSpace):
+    """G(1) = G itself; states are 1-tuples of nodes."""
+
+    d = 1
+
+    def initial_state(self, graph, rng: random.Random, seed_node: int = 0) -> State:
+        if not graph.neighbors(seed_node):
+            raise WalkSpaceError(f"seed node {seed_node} is isolated")
+        return (seed_node,)
+
+    def random_neighbor(self, graph, state: State, rng: random.Random) -> State:
+        neighbors = graph.neighbors(state[0])
+        return (neighbors[rng.randrange(len(neighbors))],)
+
+    def neighbors(self, graph, state: State) -> List[State]:
+        return [(v,) for v in graph.neighbors(state[0])]
+
+    def degree(self, graph, state: State) -> int:
+        return graph.degree(state[0])
+
+
+class EdgeSpace(WalkSpace):
+    """G(2): states are edges as sorted 2-tuples.
+
+    Degree of edge (u, v) in G(2) is ``d_u + d_v - 2``; uniform neighbor
+    sampling is O(1) by the rejection scheme of §5.
+    """
+
+    d = 2
+
+    def initial_state(self, graph, rng: random.Random, seed_node: int = 0) -> State:
+        neighbors = graph.neighbors(seed_node)
+        if not neighbors:
+            raise WalkSpaceError(f"seed node {seed_node} is isolated")
+        v = neighbors[rng.randrange(len(neighbors))]
+        return (seed_node, v) if seed_node < v else (v, seed_node)
+
+    def random_neighbor(self, graph, state: State, rng: random.Random) -> State:
+        u, v = state
+        du, dv = graph.degree(u), graph.degree(v)
+        if du + dv - 2 <= 0:
+            raise WalkSpaceError(
+                f"edge state {state} has no G(2) neighbors (isolated edge)"
+            )
+        while True:
+            # Pick endpoint proportional to its degree, then a uniform
+            # neighbor of it; reject when the proposal is the state itself.
+            if rng.random() * (du + dv) < du:
+                anchor, other = u, v
+            else:
+                anchor, other = v, u
+            neighbors = graph.neighbors(anchor)
+            w = neighbors[rng.randrange(len(neighbors))]
+            if w != other:
+                return (anchor, w) if anchor < w else (w, anchor)
+
+    def neighbors(self, graph, state: State) -> List[State]:
+        u, v = state
+        result: List[State] = []
+        for w in graph.neighbors(u):
+            if w != v:
+                result.append((u, w) if u < w else (w, u))
+        for w in graph.neighbors(v):
+            if w != u:
+                result.append((v, w) if v < w else (w, v))
+        return result
+
+    def degree(self, graph, state: State) -> int:
+        u, v = state
+        return graph.degree(u) + graph.degree(v) - 2
+
+
+class SubgraphSpace(WalkSpace):
+    """G(d) for d >= 3: states are sorted d-tuples inducing connected
+    subgraphs.
+
+    Neighbor enumeration follows §5: replace one node ``v_out`` of the state
+    with a node ``v_in`` adjacent to the remainder, keeping the induced
+    subgraph connected.  Cost is O(d^2 * average-degree) per step.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 3:
+            raise ValueError("SubgraphSpace requires d >= 3 (use Node/EdgeSpace)")
+        self.d = d
+
+    def initial_state(self, graph, rng: random.Random, seed_node: int = 0) -> State:
+        # Grow a connected d-node set greedily from the seed by random
+        # frontier expansion.
+        nodes = [seed_node]
+        node_set = {seed_node}
+        while len(nodes) < self.d:
+            frontier = [
+                w
+                for u in nodes
+                for w in graph.neighbors(u)
+                if w not in node_set
+            ]
+            if not frontier:
+                raise WalkSpaceError(
+                    f"cannot grow a connected {self.d}-node subgraph from seed "
+                    f"{seed_node}"
+                )
+            w = frontier[rng.randrange(len(frontier))]
+            nodes.append(w)
+            node_set.add(w)
+        return tuple(sorted(nodes))
+
+    def neighbors(self, graph, state: State) -> List[State]:
+        if self.d == 3:
+            return self._neighbors_d3(graph, state)
+        if self.d == 4:
+            return self._neighbors_d4(graph, state)
+        return self._neighbors_generic(graph, state)
+
+    def _neighbors_d3(self, graph, state: State) -> List[State]:
+        """d = 3 fast path: connectivity of {x, y, w} reduces to set algebra.
+
+        With w adjacent to x or y by construction, the new triple is
+        connected iff x ~ y (then any adjacent w works) or w is adjacent to
+        both x and y.  Set union/intersection run at C speed, which removes
+        the per-candidate BFS that dominates on hub states.
+        """
+        state_set = set(state)
+        result: List[State] = []
+        for v_out in state:
+            x, y = (u for u in state if u != v_out)
+            nx_, ny = graph.neighbor_set(x), graph.neighbor_set(y)
+            valid = (nx_ | ny) if y in nx_ else (nx_ & ny)
+            for w in valid - state_set:
+                result.append(tuple(sorted((x, y, w))))
+        return result
+
+    def _neighbors_d4(self, graph, state: State) -> List[State]:
+        """d = 4 fast path, by the remainder's internal edge structure:
+
+        * remainder {x,y,z} connected (>= 2 internal edges): any w adjacent
+          to it completes a connected 4-set;
+        * exactly one internal edge (say x~y): w must join z to the pair,
+          i.e. w ~ z and w ~ (x or y);
+        * no internal edges: w must be adjacent to all three.
+        """
+        state_set = set(state)
+        result: List[State] = []
+        for v_out in state:
+            x, y, z = (u for u in state if u != v_out)
+            nx_, ny, nz = (
+                graph.neighbor_set(x),
+                graph.neighbor_set(y),
+                graph.neighbor_set(z),
+            )
+            edges = []
+            if y in nx_:
+                edges.append((x, y))
+            if z in nx_:
+                edges.append((x, z))
+            if z in ny:
+                edges.append((y, z))
+            if len(edges) >= 2:
+                valid = nx_ | ny | nz
+            elif len(edges) == 1:
+                (a, b) = edges[0]
+                (lone,) = (u for u in (x, y, z) if u not in (a, b))
+                valid = graph.neighbor_set(lone) & (
+                    graph.neighbor_set(a) | graph.neighbor_set(b)
+                )
+            else:
+                valid = nx_ & ny & nz
+            for w in valid - state_set:
+                result.append(tuple(sorted((x, y, z, w))))
+        return result
+
+    def _neighbors_generic(self, graph, state: State) -> List[State]:
+        state_set = set(state)
+        result: List[State] = []
+        for v_out in state:
+            remainder = [u for u in state if u != v_out]
+            candidates = {
+                w
+                for u in remainder
+                for w in graph.neighbor_set(u)
+                if w not in state_set
+            }
+            for v_in in candidates:
+                new_nodes = remainder + [v_in]
+                if _connected_in(graph, new_nodes):
+                    result.append(tuple(sorted(new_nodes)))
+        return result
+
+    def random_neighbor(self, graph, state: State, rng: random.Random) -> State:
+        neighbors = self.neighbors(graph, state)
+        if not neighbors:
+            raise WalkSpaceError(f"state {state} has no G({self.d}) neighbors")
+        return neighbors[rng.randrange(len(neighbors))]
+
+    def degree(self, graph, state: State) -> int:
+        return len(self.neighbors(graph, state))
+
+
+def walk_space(d: int) -> WalkSpace:
+    """Factory: the appropriate :class:`WalkSpace` for G(d)."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if d == 1:
+        return NodeSpace()
+    if d == 2:
+        return EdgeSpace()
+    return SubgraphSpace(d)

@@ -1,0 +1,31 @@
+"""Random walks: SRW / NB-SRW on G(d), MHRW, mixing-time tools."""
+
+from .mhrw import MetropolisHastingsWalk, uniform_weight, wedge_weight
+from .mixing import (
+    effective_sample_size,
+    mixing_time_exact,
+    mixing_time_spectral,
+    slem,
+    spectral_gap,
+    stationary_distribution,
+    total_variation,
+    transition_matrix,
+)
+from .walkers import NonBacktrackingWalk, SimpleWalk, make_walk
+
+__all__ = [
+    "MetropolisHastingsWalk",
+    "NonBacktrackingWalk",
+    "SimpleWalk",
+    "effective_sample_size",
+    "make_walk",
+    "mixing_time_exact",
+    "mixing_time_spectral",
+    "slem",
+    "spectral_gap",
+    "stationary_distribution",
+    "total_variation",
+    "transition_matrix",
+    "uniform_weight",
+    "wedge_weight",
+]

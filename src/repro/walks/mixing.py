@@ -1,0 +1,135 @@
+"""Mixing-time machinery for random walks (Definition 2, Theorem 3).
+
+The Chernoff–Hoeffding bound of Theorem 3 is linear in the walk's mixing
+time tau(1/8).  For small graphs we compute it exactly (matrix powers +
+total-variation distance, feasible up to a few thousand states) and via the
+standard spectral bound
+
+    tau(eps) <= log(1 / (eps * pi_min)) / (1 - lambda*)
+
+where ``lambda*`` is the second-largest eigenvalue modulus (SLEM) of the
+lazy-symmetrized transition matrix.  Numpy-only; dense matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+
+def transition_matrix(graph: Graph) -> np.ndarray:
+    """Row-stochastic SRW transition matrix P (dense).
+
+    Raises if any node is isolated (the walk would be stuck).
+    """
+    n = graph.num_nodes
+    matrix = np.zeros((n, n))
+    for v in graph.nodes():
+        neighbors = graph.neighbors(v)
+        if not neighbors:
+            raise ValueError(f"node {v} is isolated; SRW undefined")
+        p = 1.0 / len(neighbors)
+        for w in neighbors:
+            matrix[v, w] = p
+    return matrix
+
+
+def stationary_distribution(graph: Graph) -> np.ndarray:
+    """SRW stationary distribution pi(v) = d_v / 2|E|."""
+    degrees = np.array(graph.degrees(), dtype=float)
+    total = degrees.sum()
+    if total == 0:
+        raise ValueError("graph has no edges")
+    return degrees / total
+
+
+def slem(graph: Graph) -> float:
+    """Second-largest eigenvalue modulus of the SRW transition matrix.
+
+    Computed on the symmetric normalization D^{-1/2} A D^{-1/2}, which is
+    similar to P and keeps the eigensolve symmetric/stable.
+    """
+    degrees = np.array(graph.degrees(), dtype=float)
+    if (degrees == 0).any():
+        raise ValueError("graph has isolated nodes")
+    n = graph.num_nodes
+    adjacency = np.zeros((n, n))
+    for u, v in graph.edges():
+        adjacency[u, v] = adjacency[v, u] = 1.0
+    scale = 1.0 / np.sqrt(degrees)
+    sym = adjacency * scale[:, None] * scale[None, :]
+    eigenvalues = np.linalg.eigvalsh(sym)
+    # eigvalsh returns ascending order; drop the top (= 1.0) eigenvalue.
+    return max(abs(eigenvalues[0]), abs(eigenvalues[-2]))
+
+
+def spectral_gap(graph: Graph) -> float:
+    """1 - SLEM of the SRW."""
+    return 1.0 - slem(graph)
+
+
+def mixing_time_spectral(graph: Graph, epsilon: float = 0.125) -> float:
+    """Spectral upper bound on tau(epsilon).
+
+    For bipartite (or near-periodic) graphs the SLEM approaches 1 and the
+    bound diverges — the SRW then genuinely does not mix.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    gap = spectral_gap(graph)
+    if gap <= 1e-12:
+        return math.inf
+    pi_min = float(stationary_distribution(graph).min())
+    return math.log(1.0 / (epsilon * pi_min)) / gap
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance (1/2) * ||p - q||_1."""
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def mixing_time_exact(graph: Graph, epsilon: float = 0.125, max_steps: int = 10_000) -> int:
+    """Exact tau(epsilon) per Definition 2, by dense matrix iteration.
+
+    ``max_t over starting states of min t with TV(P^t(x, .), pi) < epsilon``.
+    Intended for small graphs (O(n^2) memory, O(n^3) per step); raises if
+    the walk has not mixed within ``max_steps`` (e.g. bipartite graphs).
+    """
+    matrix = transition_matrix(graph)
+    pi = stationary_distribution(graph)
+    dist = np.eye(graph.num_nodes)  # row i = distribution started from i
+    for t in range(1, max_steps + 1):
+        dist = dist @ matrix
+        worst = 0.5 * np.abs(dist - pi[None, :]).sum(axis=1).max()
+        if worst < epsilon:
+            return t
+    raise RuntimeError(
+        f"walk did not mix to {epsilon} within {max_steps} steps "
+        "(is the graph bipartite?)"
+    )
+
+
+def effective_sample_size(trace: List[float], pi_weighted: bool = False) -> float:
+    """Crude ESS of a scalar walk functional via autocorrelation truncation.
+
+    Used by diagnostics/examples, not by the estimators themselves.
+    """
+    x = np.asarray(trace, dtype=float)
+    n = x.size
+    if n < 4:
+        return float(n)
+    x = x - x.mean()
+    var = float(x @ x) / n
+    if var == 0:
+        return float(n)
+    ess_denominator = 1.0
+    for lag in range(1, n // 2):
+        rho = float(x[:-lag] @ x[lag:]) / ((n - lag) * var)
+        if rho <= 0.05:
+            break
+        ess_denominator += 2.0 * rho
+    return n / ess_denominator

@@ -1,0 +1,112 @@
+"""Random-walk steppers over G(d).
+
+:class:`SimpleWalk` is the plain simple random walk used by the basic
+framework (§3); :class:`NonBacktrackingWalk` implements the NB-SRW
+optimization (§4.2): never return to the previous state unless it is the
+only neighbor (degree-1 states), which preserves the edge-uniform stationary
+distribution while reducing "invalid" samples.
+
+Both walkers operate on a :class:`repro.relgraph.WalkSpace`, so the same
+code drives walks on G, G(2), and G(d >= 3), against either a fully loaded
+:class:`~repro.graphs.Graph` or a :class:`~repro.graphs.RestrictedGraph`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from ..relgraph.spaces import State, WalkSpace
+
+
+class SimpleWalk:
+    """Simple random walk on G(d): uniform neighbor each step."""
+
+    def __init__(
+        self,
+        graph,
+        space: WalkSpace,
+        rng: Optional[random.Random] = None,
+        seed_node: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.space = space
+        self.rng = rng if rng is not None else random.Random()
+        self.state: State = space.initial_state(graph, self.rng, seed_node)
+        self.steps_taken = 0
+
+    def step(self) -> State:
+        """Advance one step; returns the new state."""
+        self.state = self.space.random_neighbor(self.graph, self.state, self.rng)
+        self.steps_taken += 1
+        return self.state
+
+    def walk(self, steps: int) -> Iterator[State]:
+        """Yield ``steps`` successive states (after the initial one)."""
+        for _ in range(steps):
+            yield self.step()
+
+    def state_degree(self) -> int:
+        """Degree of the current state in G(d)."""
+        return self.space.degree(self.graph, self.state)
+
+
+class NonBacktrackingWalk(SimpleWalk):
+    """Non-backtracking random walk on G(d) (§4.2).
+
+    Transition rule: from state ``j`` reached from ``i``, move uniformly
+    among neighbors of ``j`` other than ``i``; if ``i`` is the only
+    neighbor, return to it (probability 1) — exactly the matrix P' of §4.2.
+
+    For d <= 2 the exclusion uses rejection sampling on the O(1) neighbor
+    sampler (at most a geometric number of retries); for d >= 3 the
+    enumerated neighbor list is filtered directly.
+    """
+
+    def __init__(
+        self,
+        graph,
+        space: WalkSpace,
+        rng: Optional[random.Random] = None,
+        seed_node: int = 0,
+    ) -> None:
+        super().__init__(graph, space, rng, seed_node)
+        self.previous: Optional[State] = None
+
+    def step(self) -> State:
+        prev, current = self.previous, self.state
+        if prev is None:
+            new_state = self.space.random_neighbor(self.graph, current, self.rng)
+        elif self.space.d <= 2:
+            if self.space.degree(self.graph, current) <= 1:
+                new_state = prev  # forced backtrack on degree-1 states
+            else:
+                while True:
+                    new_state = self.space.random_neighbor(
+                        self.graph, current, self.rng
+                    )
+                    if new_state != prev:
+                        break
+        else:
+            candidates = [
+                s for s in self.space.neighbors(self.graph, current) if s != prev
+            ]
+            new_state = (
+                candidates[self.rng.randrange(len(candidates))] if candidates else prev
+            )
+        self.previous = current
+        self.state = new_state
+        self.steps_taken += 1
+        return new_state
+
+
+def make_walk(
+    graph,
+    space: WalkSpace,
+    non_backtracking: bool = False,
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+) -> SimpleWalk:
+    """Factory for the walker matching a method's NB flag."""
+    cls = NonBacktrackingWalk if non_backtracking else SimpleWalk
+    return cls(graph, space, rng, seed_node)

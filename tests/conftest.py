@@ -1,0 +1,49 @@
+"""Shared fixtures: small reference graphs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph, load_dataset
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def figure1_graph() -> Graph:
+    """The 4-node example graph of the paper's Figure 1.
+
+    Nodes 1..4 (relabeled 0..3), edges {12, 13, 14, 23, 34}: two triangles
+    {1,2,3} and {1,3,4} sharing edge 13, i.e. the chordal cycle (diamond).
+    Several of the paper's worked examples use this graph.
+    """
+    return Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)])
+
+
+@pytest.fixture(scope="session")
+def karate() -> Graph:
+    return load_dataset("karate")
+
+
+@pytest.fixture(scope="session")
+def k5() -> Graph:
+    return complete_graph(5)
+
+
+@pytest.fixture(scope="session")
+def c6() -> Graph:
+    return cycle_graph(6)
+
+
+@pytest.fixture(scope="session")
+def p5() -> Graph:
+    return path_graph(5)
+
+
+@pytest.fixture(scope="session")
+def star4() -> Graph:
+    return star_graph(4)

@@ -1,0 +1,95 @@
+"""Tests for the restricted-access wrapper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import AccessViolation, Graph, RestrictedGraph
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+class TestAccessModel:
+    def test_seed_node_accessible(self):
+        api = RestrictedGraph(path_graph(4), seed_node=0)
+        assert api.neighbors(0) == [1]
+
+    def test_undiscovered_node_raises(self):
+        api = RestrictedGraph(path_graph(4), seed_node=0)
+        with pytest.raises(AccessViolation):
+            api.neighbors(3)
+
+    def test_discovery_through_neighbor_lists(self):
+        api = RestrictedGraph(path_graph(4), seed_node=0)
+        api.neighbors(0)  # discovers 1
+        api.neighbors(1)  # discovers 2
+        assert api.neighbors(2) == [1, 3]
+
+    def test_enforce_false_allows_everything(self):
+        api = RestrictedGraph(path_graph(4), enforce=False)
+        assert api.neighbors(3) == [2]
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            RestrictedGraph(path_graph(3), seed_node=9)
+
+
+class TestAccounting:
+    def test_api_calls_counted_once_per_node(self):
+        api = RestrictedGraph(cycle_graph(5), seed_node=0)
+        api.neighbors(0)
+        api.neighbors(0)
+        assert api.api_calls == 1
+        api.neighbors(1)
+        assert api.api_calls == 2
+
+    def test_degree_uses_neighbor_fetch(self):
+        api = RestrictedGraph(star_graph(3), seed_node=0)
+        assert api.degree(0) == 3
+        assert api.api_calls == 1
+
+    def test_discovered_and_fetched_counts(self):
+        api = RestrictedGraph(star_graph(3), seed_node=0)
+        assert api.discovered_nodes == 1
+        api.neighbors(0)
+        assert api.discovered_nodes == 4
+        assert api.fetched_nodes == 1
+
+    def test_coverage(self):
+        api = RestrictedGraph(star_graph(3), seed_node=0)
+        api.neighbors(0)
+        assert api.coverage() == 1.0
+
+    def test_reset_accounting(self):
+        api = RestrictedGraph(cycle_graph(4), seed_node=0)
+        api.neighbors(0)
+        api.reset_accounting()
+        assert api.api_calls == 0
+        # Discovery state is retained.
+        api.neighbors(1)
+        assert api.api_calls == 1
+
+
+class TestOperations:
+    def test_random_neighbor(self):
+        api = RestrictedGraph(cycle_graph(5), seed_node=0)
+        rng = random.Random(1)
+        assert api.random_neighbor(0, rng) in (1, 4)
+
+    def test_random_neighbor_isolated(self):
+        api = RestrictedGraph(Graph(2, []), seed_node=0)
+        with pytest.raises(ValueError):
+            api.random_neighbor(0, random.Random(1))
+
+    def test_has_edge_via_fetched_endpoint(self):
+        api = RestrictedGraph(cycle_graph(5), seed_node=0)
+        api.neighbors(0)
+        calls = api.api_calls
+        assert api.has_edge(0, 1)
+        assert api.api_calls == calls  # reused the cached list
+
+    def test_neighbor_set_counts_call(self):
+        api = RestrictedGraph(cycle_graph(5), seed_node=0)
+        assert api.neighbor_set(0) == {1, 4}
+        assert api.api_calls == 1

@@ -1,0 +1,137 @@
+"""Tests for the alpha coefficients against the paper's Tables 2 and 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alpha import (
+    alpha_coefficient,
+    alpha_fingerprints,
+    alpha_table,
+    hamilton_paths,
+    unreachable_types,
+)
+from repro.graphlets import connected_subsets, graphlet_by_name, graphlets
+
+# Paper Table 2 (values are alpha/2), catalog order == paper order for k<=4.
+TABLE2 = {
+    (3, 1): [1, 3],
+    (3, 2): [1, 3],
+    (4, 1): [1, 0, 4, 2, 6, 12],
+    (4, 2): [1, 3, 4, 5, 12, 24],
+    (4, 3): [1, 3, 6, 3, 6, 6],
+}
+
+# Paper Table 3 (alpha/2) for the 21 5-node graphlets, paper column order.
+TABLE3 = {
+    1: [1, 0, 0, 1, 2, 0, 5, 2, 2, 4, 4, 6, 7, 6, 6, 10, 14, 18, 24, 36, 60],
+    2: [1, 2, 12, 5, 4, 16, 5, 6, 24, 24, 12, 18, 15, 54, 36, 42, 34, 82, 76, 144, 240],
+    3: [1, 5, 24, 8, 5, 24, 5, 16, 30, 24, 16, 63, 26, 63, 30, 43, 63, 63, 90, 90, 90],
+    # SRW(4): five printed entries (ids 8-11, 15) are exactly twice the
+    # Algorithm 2 / closed-form value |S|(|S|-1) <= 20 — see EXPERIMENTS.md
+    # (paper erratum); this row holds the Algorithm-2-consistent values.
+    4: [1, 3, 6, 3, 3, 6, 10, 6, 6, 6, 6, 10, 10, 10, 6, 10, 10, 10, 10, 10, 10],
+}
+
+
+class TestTable2:
+    @pytest.mark.parametrize("k,d", list(TABLE2))
+    def test_exact_match(self, k, d):
+        computed = [a / 2 for a in alpha_table(k, d)]
+        assert computed == TABLE2[(k, d)]
+
+    def test_d_equals_k_is_one(self):
+        """Table 2's SRW(3) row for 3-node graphlets reads alpha/2 = 1/2,
+        i.e. alpha = 1: each graphlet is one G(k) state."""
+        assert alpha_table(3, 3) == (1, 1)
+        assert alpha_table(4, 4) == (1,) * 6
+
+
+class TestTable3:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_multiset_match(self, d):
+        computed = sorted(a / 2 for a in alpha_table(5, d))
+        assert computed == sorted(TABLE3[d])
+
+    def test_fingerprints_unique(self):
+        """(alpha under SRW1..3) uniquely identifies each 5-node type —
+        the property that lets the Table 3 bench recover the paper's
+        column order."""
+        prints = alpha_fingerprints(5, (1, 2, 3))
+        assert len(set(prints.values())) == 21
+
+    def test_fingerprint_bijection_with_paper_columns(self):
+        paper_columns = {
+            col: (2 * TABLE3[1][col], 2 * TABLE3[2][col], 2 * TABLE3[3][col])
+            for col in range(21)
+        }
+        ours = alpha_fingerprints(5, (1, 2, 3))
+        assert sorted(paper_columns.values()) == sorted(ours.values())
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_srw1_alpha_is_twice_hamilton_paths(self, k):
+        """Paper §3.2: for SRW(1), alpha = 2 * (# Hamiltonian paths of the
+        graphlet)."""
+        for g in graphlets(k):
+            assert alpha_coefficient(g, 1) == 2 * hamilton_paths(g.edges, k)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_psrw_closed_form(self, k):
+        """Appendix B: for d = k-1, alpha = |S| (|S| - 1) with S the set of
+        connected (k-1)-node induced subgraphs."""
+        for g in graphlets(k):
+            s = len(connected_subsets(g.edges, k, k - 1))
+            assert alpha_coefficient(g, k - 1) == s * (s - 1)
+
+    def test_triangle_six_corresponding_states(self):
+        """§3.2 example: a triangle has 6 corresponding states in M(3)."""
+        assert alpha_coefficient(graphlet_by_name(3, "triangle"), 1) == 6
+
+    def test_known_shapes(self):
+        assert alpha_coefficient(graphlet_by_name(5, "path"), 1) == 2
+        assert alpha_coefficient(graphlet_by_name(5, "clique"), 1) == 120
+        assert alpha_coefficient(graphlet_by_name(5, "cycle"), 1) == 10
+        # Stars have no Hamiltonian path.
+        assert alpha_coefficient(graphlet_by_name(5, "4-star"), 1) == 0
+        assert alpha_coefficient(graphlet_by_name(4, "3-star"), 1) == 0
+
+
+class TestUnreachable:
+    def test_srw1_k4_star_unreachable(self):
+        """Footnote 3: SRW1 cannot sample the 3-star."""
+        star = graphlet_by_name(4, "3-star").index
+        assert unreachable_types(4, 1) == (star,)
+
+    def test_srw1_k5_unreachables(self):
+        names = {graphlets(5)[i].name for i in unreachable_types(5, 1)}
+        assert "4-star" in names
+        assert len(names) == 3  # ids 2, 3, 6 in the paper's Table 3
+
+    def test_srw2_reaches_everything(self):
+        assert unreachable_types(4, 2) == ()
+        assert unreachable_types(5, 2) == ()
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            alpha_table(4, 5)
+        with pytest.raises(ValueError):
+            alpha_table(4, 0)
+
+
+class TestHamiltonPaths:
+    @pytest.mark.parametrize(
+        "name, k, expected",
+        [
+            ("path", 4, 1),
+            ("3-star", 4, 0),
+            ("cycle", 4, 4),
+            ("tailed-triangle", 4, 2),
+            ("chordal-cycle", 4, 6),
+            ("clique", 4, 12),
+        ],
+    )
+    def test_known_counts(self, name, k, expected):
+        g = graphlet_by_name(k, name)
+        assert hamilton_paths(g.edges, k) == expected

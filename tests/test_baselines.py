@@ -1,0 +1,247 @@
+"""Tests for the baseline methods (§6.3)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    guise,
+    guise_neighbors,
+    hardiman_katzir,
+    path_sampling,
+    path_weights,
+    psrw_estimate,
+    srw_estimate,
+    wedge_mhrw,
+    wedge_sampling,
+)
+from repro.baselines.path_sampling import PathSampler
+from repro.baselines.wedge import WedgeSampler
+from repro.exact import (
+    exact_concentrations,
+    exact_counts,
+    global_clustering_coefficient,
+    triangle_count,
+    wedge_count,
+)
+from repro.graphlets import graphlet_by_name
+from repro.graphs import Graph, RestrictedGraph, load_dataset
+from repro.graphs.generators import complete_graph, path_graph
+
+
+class TestWedgeSampling:
+    def test_triangle_concentration_converges(self, karate):
+        truth = exact_concentrations(karate, 3)[1]
+        result = wedge_sampling(karate, 30_000, seed=1)
+        assert abs(result.triangle_concentration - truth) < 0.1 * truth + 0.005
+
+    def test_triangle_count_converges(self, karate):
+        result = wedge_sampling(karate, 30_000, seed=2)
+        assert abs(result.triangle_count - 45) < 8
+
+    def test_closed_fraction_estimates_transitivity(self, karate):
+        result = wedge_sampling(karate, 30_000, seed=3)
+        cc = global_clustering_coefficient(karate)
+        assert abs(result.closed_fraction - cc) < 0.03
+
+    def test_wedge_graphlet_count(self, karate):
+        result = wedge_sampling(karate, 30_000, seed=4)
+        truth = exact_counts(karate, 3)[0]
+        assert abs(result.wedge_graphlet_count - truth) < 0.1 * truth
+
+    def test_total_wedges_exact(self, karate):
+        sampler = WedgeSampler(karate)
+        assert sampler.total_wedges == wedge_count(karate)
+
+    def test_center_distribution(self, karate):
+        """Centers must appear proportional to C(d_v, 2)."""
+        sampler = WedgeSampler(karate, random.Random(5))
+        from collections import Counter
+
+        draws = Counter(sampler.sample_center() for _ in range(30_000))
+        hub = max(karate.nodes(), key=karate.degree)
+        d = karate.degree(hub)
+        expected = (d * (d - 1) / 2) / sampler.total_wedges
+        assert abs(draws[hub] / 30_000 - expected) < 0.1 * expected
+
+    def test_no_wedges_raises(self):
+        with pytest.raises(ValueError):
+            wedge_sampling(Graph(2, [(0, 1)]), 10)
+
+    def test_nonpositive_samples(self, karate):
+        with pytest.raises(ValueError):
+            wedge_sampling(karate, 0)
+
+
+class TestPathSampling:
+    def test_beta_values_match_paper(self):
+        """beta = Hamiltonian-path counts: 1, 0, 4, 2, 6, 12."""
+        assert path_weights() == (1, 0, 4, 2, 6, 12)
+
+    def test_counts_converge(self, karate):
+        truth = exact_counts(karate, 4)
+        result = path_sampling(karate, 40_000, seed=1)
+        counts = result.count_dict()
+        for name, index in [("path", 0), ("tailed-triangle", 3), ("chordal-cycle", 4)]:
+            assert abs(counts[name] - truth[index]) < 0.25 * truth[index] + 5
+
+    def test_star_invisible(self, karate):
+        result = path_sampling(karate, 1_000, seed=2)
+        assert math.isnan(result.count_dict()["3-star"])
+
+    def test_clique_estimate(self, karate):
+        result = path_sampling(karate, 60_000, seed=3)
+        truth = exact_counts(karate, 4)[5]
+        assert abs(result.count_dict()["clique"] - truth) < 0.6 * truth + 3
+
+    def test_total_weight_formula(self, karate):
+        sampler = PathSampler(karate)
+        expected = sum(
+            (karate.degree(u) - 1) * (karate.degree(v) - 1)
+            for u, v in karate.edges()
+        )
+        assert sampler.total_weight == expected
+
+    def test_no_paths_raises(self):
+        with pytest.raises(ValueError):
+            path_sampling(path_graph(2), 10)
+
+    def test_concentrations_ignore_star(self, karate):
+        result = path_sampling(karate, 5_000, seed=4)
+        conc = result.concentrations
+        visible = [c for c in conc if not math.isnan(c)]
+        assert math.isclose(sum(visible), 1.0, rel_tol=1e-9)
+
+
+class TestWedgeMHRW:
+    def test_converges(self, karate):
+        truth = exact_concentrations(karate, 3)[1]
+        result = wedge_mhrw(karate, 30_000, seed=1)
+        assert abs(result.triangle_concentration - truth) < 0.15 * truth + 0.01
+
+    def test_wedge_concentration_complement(self, karate):
+        result = wedge_mhrw(karate, 5_000, seed=2)
+        assert math.isclose(
+            result.wedge_concentration + result.triangle_concentration, 1.0
+        )
+
+    def test_nominal_api_cost_is_three_per_step(self, karate):
+        result = wedge_mhrw(karate, 1_000, seed=3)
+        assert result.nominal_api_calls == 3_000
+
+    def test_restricted_access_run(self, karate):
+        api = RestrictedGraph(karate, seed_node=0)
+        result = wedge_mhrw(api, 3_000, seed=4)
+        assert result.api_calls is not None and result.api_calls > 0
+
+    def test_low_degree_seed_advances(self, karate):
+        # Node 11 has degree 1 in karate: the walk must move before sampling.
+        result = wedge_mhrw(karate, 2_000, seed=5, seed_node=11)
+        assert result.steps == 2_000
+
+    def test_clustering_coefficient_identity(self, karate):
+        result = wedge_mhrw(karate, 30_000, seed=6)
+        cc = global_clustering_coefficient(karate)
+        assert abs(result.clustering_coefficient - cc) < 0.05
+
+
+class TestHardimanKatzir:
+    def test_clustering_converges(self, karate):
+        truth = global_clustering_coefficient(karate)
+        result = hardiman_katzir(karate, 40_000, seed=1)
+        assert abs(result.clustering_coefficient - truth) < 0.1 * truth
+
+    def test_triangle_concentration_identity(self, karate):
+        result = hardiman_katzir(karate, 40_000, seed=2)
+        truth = exact_concentrations(karate, 3)[1]
+        assert abs(result.triangle_concentration - truth) < 0.15 * truth
+
+    def test_wedge_complement(self, karate):
+        result = hardiman_katzir(karate, 2_000, seed=3)
+        assert math.isclose(
+            result.wedge_concentration, 1 - result.triangle_concentration
+        )
+
+    def test_positive_steps_required(self, karate):
+        with pytest.raises(ValueError):
+            hardiman_katzir(karate, 0)
+
+
+class TestGuise:
+    def test_neighbor_symmetry(self, karate):
+        """y in N(x) iff x in N(y) — required for MH correctness."""
+        rng = random.Random(1)
+        from repro.relgraph import SubgraphSpace
+
+        state = SubgraphSpace(4).initial_state(karate, rng, seed_node=0)
+        for neighbor in guise_neighbors(karate, state)[:10]:
+            assert state in guise_neighbors(karate, neighbor)
+
+    def test_neighbor_sizes_valid(self, karate):
+        rng = random.Random(2)
+        from repro.relgraph import SubgraphSpace
+
+        state = SubgraphSpace(3).initial_state(karate, rng, seed_node=0)
+        for neighbor in guise_neighbors(karate, state):
+            assert 3 <= len(neighbor) <= 5
+            assert karate.is_connected_subset(neighbor)
+
+    def test_triad_concentration_converges(self, karate):
+        truth = exact_concentrations(karate, 3)
+        result = guise(karate, 15_000, seed=3)
+        estimate = result.concentrations(3)
+        assert abs(estimate["triangle"] - truth[1]) < 0.25 * truth[1] + 0.02
+
+    def test_rejection_rate_reported(self, karate):
+        result = guise(karate, 2_000, seed=4)
+        assert 0.0 <= result.rejection_rate < 1.0
+
+    def test_visits_all_sizes(self, karate):
+        result = guise(karate, 5_000, seed=5)
+        for k in (3, 4, 5):
+            assert result.visits[k].sum() > 0
+
+    def test_positive_steps_required(self, karate):
+        with pytest.raises(ValueError):
+            guise(karate, 0)
+
+
+class TestPSRW:
+    def test_psrw_is_srw_kminus1(self, karate):
+        result = psrw_estimate(karate, 4, 2_000, seed=1)
+        assert result.method == "SRW3"
+        assert result.d == 3
+
+    def test_srw_is_on_gk(self, karate):
+        result = srw_estimate(karate, 3, 2_000, seed=2)
+        assert result.d == 3
+        assert result.method == "SRW3"
+
+    def test_psrw_converges_k3(self, karate):
+        truth = exact_concentrations(karate, 3)[1]
+        result = psrw_estimate(karate, 3, 30_000, seed=3)
+        assert abs(result.concentrations[1] - truth) < 0.15 * truth + 0.01
+
+    def test_reproducible(self, karate):
+        a = psrw_estimate(karate, 3, 1_000, seed=4)
+        b = psrw_estimate(karate, 3, 1_000, seed=4)
+        assert np.array_equal(a.sums, b.sums)
+
+
+class TestCrossMethodAgreement:
+    def test_all_triangle_estimators_agree(self, karate):
+        """Five independent estimator families must bracket the same truth
+        — an end-to-end consistency check of the whole library."""
+        truth = exact_concentrations(karate, 3)[1]
+        estimates = {
+            "wedge": wedge_sampling(karate, 20_000, seed=10).triangle_concentration,
+            "wedge_mhrw": wedge_mhrw(karate, 20_000, seed=10).triangle_concentration,
+            "hk": hardiman_katzir(karate, 20_000, seed=10).triangle_concentration,
+            "psrw": psrw_estimate(karate, 3, 20_000, seed=10).concentrations[1],
+        }
+        for name, value in estimates.items():
+            assert abs(value - truth) < 0.2 * truth + 0.01, name

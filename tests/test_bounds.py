@@ -1,0 +1,138 @@
+"""Tests for the Theorem 3 bound and weighted concentration (Figure 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    css_sample_size_bound,
+    sample_size_bound,
+    weighted_concentration,
+)
+from repro.core.alpha import alpha_table
+from repro.exact import exact_counts
+from repro.graphlets import graphlet_by_name
+from repro.graphs import load_dataset
+
+
+class TestSampleSizeBound:
+    def test_basic_report(self, karate):
+        report = sample_size_bound(karate, 3, 1, graphlet_index=1)
+        assert report.sample_size > 0
+        assert report.tau > 0
+        assert report.w > 0
+        assert "Theorem 3" in report.describe()
+
+    def test_monotone_in_epsilon(self, karate):
+        loose = sample_size_bound(karate, 3, 1, 1, epsilon=0.2)
+        tight = sample_size_bound(karate, 3, 1, 1, epsilon=0.05)
+        assert tight.sample_size > loose.sample_size
+
+    def test_monotone_in_delta(self, karate):
+        confident = sample_size_bound(karate, 3, 1, 1, delta=0.01)
+        relaxed = sample_size_bound(karate, 3, 1, 1, delta=0.5)
+        assert confident.sample_size > relaxed.sample_size
+
+    def test_rare_graphlet_needs_more_samples(self, karate):
+        """§3.3 Remarks: rarer types (smaller alpha_i C_i) need more
+        samples.  In karate triangles are much rarer than wedges."""
+        wedge = sample_size_bound(karate, 3, 1, graphlet_index=0)
+        triangle = sample_size_bound(karate, 3, 1, graphlet_index=1)
+        assert triangle.lam <= wedge.lam
+
+    def test_unreachable_graphlet_rejected(self, karate):
+        star = graphlet_by_name(4, "3-star").index
+        with pytest.raises(ValueError):
+            sample_size_bound(karate, 4, 1, graphlet_index=star)
+
+    def test_invalid_epsilon(self, karate):
+        with pytest.raises(ValueError):
+            sample_size_bound(karate, 3, 1, 1, epsilon=0.0)
+
+    def test_absent_graphlet_rejected(self):
+        from repro.graphs.generators import path_graph
+
+        g = path_graph(6)  # no triangles
+        with pytest.raises(ValueError):
+            sample_size_bound(g, 3, 1, graphlet_index=1)
+
+    def test_precomputed_counts_accepted(self, karate):
+        counts = exact_counts(karate, 3)
+        report = sample_size_bound(karate, 3, 1, 1, counts=counts)
+        assert report.sample_size > 0
+
+
+class TestCSSBound:
+    def test_w_prime_never_exceeds_w(self, karate):
+        """§4.1: max 1/p(X) <= max 1/(alpha pi_e(X)), so the CSS bound's W
+        term shrinks."""
+        for d, k, index in [(1, 3, 1), (2, 4, 4)]:
+            basic = sample_size_bound(karate, k, d, index)
+            css = css_sample_size_bound(karate, k, d, index)
+            assert css.w <= basic.w
+
+    def test_monotone_in_epsilon(self, karate):
+        loose = css_sample_size_bound(karate, 3, 1, 1, epsilon=0.2)
+        tight = css_sample_size_bound(karate, 3, 1, 1, epsilon=0.05)
+        assert tight.sample_size > loose.sample_size
+
+    def test_unreachable_rejected(self, karate):
+        star = graphlet_by_name(4, "3-star").index
+        with pytest.raises(ValueError):
+            css_sample_size_bound(karate, 4, 1, star)
+
+    def test_absent_graphlet_rejected(self):
+        from repro.graphs.generators import path_graph
+
+        with pytest.raises(ValueError):
+            css_sample_size_bound(path_graph(6), 3, 1, 1)
+
+    def test_invalid_epsilon(self, karate):
+        with pytest.raises(ValueError):
+            css_sample_size_bound(karate, 3, 1, 1, epsilon=1.5)
+
+    def test_d3_state_degrees_supported(self, figure1_graph):
+        report = css_sample_size_bound(figure1_graph, 4, 3, 4)
+        assert report.sample_size > 0
+
+
+class TestWeightedConcentration:
+    def test_sums_to_one(self, karate):
+        weighted = weighted_concentration(karate, 4, 2)
+        assert math.isclose(sum(weighted.values()), 1.0, rel_tol=1e-9)
+
+    def test_matches_definition(self, karate):
+        counts = exact_counts(karate, 4)
+        alphas = alpha_table(4, 2)
+        weighted = weighted_concentration(karate, 4, 2, counts=counts)
+        total = sum(alphas[i] * counts[i] for i in counts)
+        for i in counts:
+            assert math.isclose(weighted[i], alphas[i] * counts[i] / total)
+
+    def test_lifts_rare_dense_graphlets(self, karate):
+        """Figure 5's observation: relative to the plain concentration, the
+        SRW2 weighted concentration lifts the rare dense types (clique)."""
+        from repro.exact import exact_concentrations
+
+        plain = exact_concentrations(karate, 4)
+        weighted = weighted_concentration(karate, 4, 2)
+        clique = graphlet_by_name(4, "clique").index
+        assert weighted[clique] > plain[clique]
+
+    def test_smaller_d_lifts_more(self, karate):
+        """The paper's conclusion: SRW2 boosts the clique probability more
+        than SRW3 does."""
+        clique = graphlet_by_name(4, "clique").index
+        w2 = weighted_concentration(karate, 4, 2)
+        w3 = weighted_concentration(karate, 4, 3)
+        assert w2[clique] > w3[clique]
+
+    def test_unreachable_only_walk_rejected(self):
+        """A star graph has only 3-star 4-node subgraphs: all unreachable
+        under SRW1."""
+        from repro.graphs.generators import star_graph
+
+        with pytest.raises(ValueError):
+            weighted_concentration(star_graph(5), 4, 1)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import load_dataset
+from repro.graphs.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "karate" in out and "sinaweibo-like" in out
+
+    def test_summarize(self, capsys):
+        assert main(["summarize", "--dataset", "karate"]) == 0
+        out = capsys.readouterr().out
+        assert "num_nodes" in out and "34" in out
+
+    def test_estimate_default_method(self, capsys):
+        assert main(
+            ["estimate", "--dataset", "karate", "-k", "3", "--steps", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SRW1CSSNB" in out and "triangle" in out
+
+    def test_estimate_explicit_method(self, capsys):
+        assert main(
+            [
+                "estimate", "--dataset", "karate", "-k", "4",
+                "--method", "SRW2", "--steps", "1000",
+            ]
+        ) == 0
+        assert "clique" in capsys.readouterr().out
+
+    def test_exact(self, capsys):
+        assert main(["exact", "--dataset", "karate", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0.1027" in out  # karate triangle concentration
+
+    def test_compare(self, capsys):
+        assert main(
+            [
+                "compare", "--dataset", "karate", "-k", "3",
+                "--steps", "1000", "--trials", "3",
+                "--methods", "SRW1", "SRW2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SRW1" in out and "SRW2" in out and "NRMSE" in out
+
+    def test_compare_explicit_graphlet(self, capsys):
+        assert main(
+            [
+                "compare", "--dataset", "karate", "-k", "3",
+                "--steps", "500", "--trials", "2", "--graphlet", "triangle",
+            ]
+        ) == 0
+        assert "triangle" in capsys.readouterr().out
+
+    def test_bound(self, capsys):
+        assert main(
+            ["bound", "--dataset", "karate", "-k", "3", "-d", "1",
+             "--graphlet", "triangle"]
+        ) == 0
+        assert "Theorem 3" in capsys.readouterr().out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(load_dataset("karate"), path)
+        assert main(["summarize", "--edge-list", str(path)]) == 0
+        assert "34" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Tests for connected components / LCC extraction (cross-checked with
+networkx as an independent oracle)."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graphs.generators import cycle_graph, graph_union, path_graph
+
+
+def nx_from(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(cycle_graph(5)) == [[0, 1, 2, 3, 4]]
+
+    def test_isolated_nodes_are_singletons(self):
+        g = Graph(4, [(0, 1)])
+        components = connected_components(g)
+        assert [0, 1] in components
+        assert [2] in components and [3] in components
+
+    def test_largest_first_ordering(self):
+        g = graph_union([cycle_graph(3), cycle_graph(5)], bridge=False)
+        sizes = [len(c) for c in connected_components(g)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert not is_connected(Graph(0))
+
+    @given(
+        st.integers(3, 15),
+        st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_components_match_networkx(self, n, raw_edges):
+        edges = [(u % n, v % n) for u, v in raw_edges if u % n != v % n]
+        g = Graph(n, edges)
+        ours = sorted(tuple(c) for c in connected_components(g))
+        theirs = sorted(
+            tuple(sorted(c)) for c in nx.connected_components(nx_from(g))
+        )
+        assert ours == theirs
+
+
+class TestLCC:
+    def test_relabeling_contiguous(self):
+        g = graph_union([path_graph(2), cycle_graph(4)], bridge=False)
+        lcc, mapping = largest_connected_component(g)
+        assert lcc.num_nodes == 4
+        assert sorted(mapping.values()) == [0, 1, 2, 3]
+
+    def test_structure_preserved(self):
+        g = graph_union([cycle_graph(5), path_graph(2)], bridge=False)
+        lcc, mapping = largest_connected_component(g)
+        assert lcc.num_edges == 5
+        assert is_connected(lcc)
+        # Degrees preserved under relabeling.
+        for old, new in mapping.items():
+            assert g.degree(old) == lcc.degree(new)
+
+    def test_empty_graph(self):
+        lcc, mapping = largest_connected_component(Graph(0))
+        assert lcc.num_nodes == 0
+        assert mapping == {}
+
+    @given(
+        st.integers(2, 12),
+        st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lcc_size_matches_networkx(self, n, raw_edges):
+        edges = [(u % n, v % n) for u, v in raw_edges if u % n != v % n]
+        g = Graph(n, edges)
+        lcc, _ = largest_connected_component(g)
+        expected = max(
+            (len(c) for c in nx.connected_components(nx_from(g))), default=0
+        )
+        assert lcc.num_nodes == expected

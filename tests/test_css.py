@@ -1,0 +1,173 @@
+"""Tests for corresponding state sampling (CSS), including the paper's
+Table 4 closed forms."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.alpha import alpha_coefficient, alpha_table
+from repro.core.css import css_templates, sampling_weight
+from repro.graphlets import edges_to_bitmask, graphlet_by_name, graphlets, induced_bitmask
+from repro.graphs import Graph, load_dataset
+from repro.graphs.generators import complete_graph
+
+
+def degree_d1(graph):
+    return lambda state: graph.degree(state[0])
+
+
+def degree_d2(graph):
+    return lambda state: graph.degree(state[0]) + graph.degree(state[1]) - 2
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("k,d", [(3, 1), (4, 1), (4, 2), (5, 2), (5, 3)])
+    def test_template_count_equals_alpha(self, k, d):
+        """|C(s)| = alpha_i^k for every type (Definition 3)."""
+        for g in graphlets(k):
+            templates = css_templates(g.certificate, k, d)
+            assert len(templates) == alpha_coefficient(g, d)
+
+    def test_template_middle_length(self):
+        g = graphlet_by_name(4, "clique")
+        for template in css_templates(g.certificate, 4, 2):
+            assert len(template) == 1  # l = 3 -> one middle state
+        for template in css_templates(g.certificate, 4, 1):
+            assert len(template) == 2  # l = 4 -> two middle states
+
+    def test_l2_templates_empty(self):
+        """For l = 2 (d = k-1) there are no middle states: CSS == basic."""
+        g = graphlet_by_name(4, "cycle")
+        templates = css_templates(g.certificate, 4, 3)
+        assert all(template == () for template in templates)
+        assert len(templates) == alpha_coefficient(g, 3)
+
+    def test_invalid_d(self):
+        g = graphlet_by_name(4, "path")
+        with pytest.raises(ValueError):
+            css_templates(g.certificate, 4, 4)
+
+
+class TestTable4ClosedForms:
+    """Table 4 gives 2|R(d)| * p(X)/2 in closed form; we check p~ = 2R * p
+    against twice those expressions on concrete embeddings."""
+
+    def test_wedge_srw1(self, karate):
+        """g31: p~/2 = 1/d_center."""
+        g = karate
+        # Find a wedge: center 0 with neighbors 4, 5 (0-4, 0-5 edges, 4-5?).
+        center = 0
+        a, b = None, None
+        for x in g.neighbors(center):
+            for y in g.neighbors(center):
+                if x < y and not g.has_edge(x, y):
+                    a, b = x, y
+        nodes = sorted([a, center, b])
+        mask = induced_bitmask(g, nodes)
+        p = sampling_weight(mask, nodes, 3, 1, degree_d1(g))
+        assert math.isclose(p, 2 / g.degree(center))
+
+    def test_triangle_srw1(self, karate):
+        """g32: p~/2 = 1/d1 + 1/d2 + 1/d3."""
+        g = karate
+        nodes = [0, 1, 2]  # triangle in karate
+        mask = induced_bitmask(g, nodes)
+        p = sampling_weight(mask, nodes, 3, 1, degree_d1(g))
+        expected = 2 * sum(1 / g.degree(v) for v in nodes)
+        assert math.isclose(p, expected)
+
+    def test_path_srw2(self):
+        """g41: p~/2 = 1/d_e2 with e2 the middle edge."""
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (0, 4), (3, 5)])
+        nodes = [0, 1, 2, 3]  # induced path with middle edge (1, 2)
+        mask = induced_bitmask(g, nodes)
+        p = sampling_weight(mask, nodes, 4, 2, degree_d2(g))
+        d_middle = g.degree(1) + g.degree(2) - 2
+        assert math.isclose(p, 2 / d_middle)
+
+    def test_star_srw2(self):
+        """g42: p~/2 = sum over the three edges of 1/d_e."""
+        g = Graph(7, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)])
+        nodes = [0, 1, 2, 3]
+        mask = induced_bitmask(g, nodes)
+        p = sampling_weight(mask, nodes, 4, 2, degree_d2(g))
+        edges = [(0, 1), (0, 2), (0, 3)]
+        expected = 2 * sum(
+            1 / (g.degree(u) + g.degree(v) - 2) for u, v in edges
+        )
+        assert math.isclose(p, expected)
+
+    def test_cycle_srw2(self):
+        """g43: p~/2 = sum over the four cycle edges of 1/d_e."""
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 4), (2, 5)])
+        nodes = [0, 1, 2, 3]
+        mask = induced_bitmask(g, nodes)
+        p = sampling_weight(mask, nodes, 4, 2, degree_d2(g))
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        expected = 2 * sum(1 / (g.degree(u) + g.degree(v) - 2) for u, v in edges)
+        assert math.isclose(p, expected)
+
+    def test_clique_srw2(self):
+        """g46: p~/2 = 4 * sum over the six edges of 1/d_e."""
+        g = complete_graph(6)
+        nodes = [0, 1, 2, 3]
+        mask = induced_bitmask(g, nodes)
+        p = sampling_weight(mask, nodes, 4, 2, degree_d2(g))
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        expected = 2 * 4 * sum(1 / (g.degree(u) + g.degree(v) - 2) for u, v in edges)
+        assert math.isclose(p, expected)
+
+
+class TestSamplingWeightSemantics:
+    def test_uniform_degrees_reduce_to_alpha_over_middle_product(self):
+        """When every state has the same degree D, p~ = alpha / D^(l-2)."""
+        g = complete_graph(6)
+        alphas = alpha_table(4, 2)
+        nodes = [0, 1, 2, 3]
+        mask = induced_bitmask(g, nodes)
+        d_state = g.degree(0) + g.degree(1) - 2
+        p = sampling_weight(mask, nodes, 4, 2, degree_d2(g))
+        clique_index = graphlet_by_name(4, "clique").index
+        assert math.isclose(p, alphas[clique_index] / d_state)
+
+    def test_l2_weight_equals_alpha(self, karate):
+        """For d = k-1, p~ = alpha (CSS coincides with the basic method)."""
+        nodes = [0, 1, 2]
+        mask = induced_bitmask(karate, nodes)
+        p = sampling_weight(mask, nodes, 3, 2, degree_d2(karate))
+        triangle = graphlet_by_name(3, "triangle")
+        assert math.isclose(p, alpha_coefficient(triangle, 2))
+
+    def test_brute_force_agreement_on_random_samples(self, karate):
+        """p~ from the template cache equals a from-scratch enumeration of
+        corresponding windows via the walk-space neighbor oracle."""
+        from itertools import permutations
+
+        from repro.relgraph import EdgeSpace
+
+        g = karate
+        space = EdgeSpace()
+        rng = random.Random(3)
+        checked = 0
+        while checked < 10:
+            nodes = sorted(rng.sample(range(g.num_nodes), 4))
+            if not g.is_connected_subset(nodes):
+                continue
+            mask = induced_bitmask(g, nodes)
+            expected = 0.0
+            induced = g.induced_edges(nodes)
+            # Enumerate ordered triples of distinct induced edges forming a
+            # G(2) walk covering all 4 nodes.
+            for triple in permutations(induced, 3):
+                covers = {v for e in triple for v in e} == set(nodes)
+                linked = all(
+                    len(set(triple[i]) & set(triple[i + 1])) == 1 for i in range(2)
+                )
+                if covers and linked:
+                    expected += 1.0 / space.degree(g, tuple(sorted(triple[1])))
+            p = sampling_weight(mask, nodes, 4, 2, degree_d2(g))
+            assert math.isclose(p, expected)
+            checked += 1

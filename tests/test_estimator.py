@@ -1,0 +1,234 @@
+"""Tests for the estimation loop: spec parsing, convergence to exact
+ground truth, count estimation, restricted access."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EstimationResult, MethodSpec, run_estimation
+from repro.exact import exact_concentrations, exact_counts
+from repro.graphlets import graphlet_by_name, graphlets
+from repro.graphs import RestrictedGraph, load_dataset
+from repro.relgraph import relationship_edge_count
+
+
+class TestMethodSpec:
+    @pytest.mark.parametrize(
+        "name, k, expected",
+        [
+            ("SRW1", 3, (1, False, False)),
+            ("SRW1CSS", 3, (1, True, False)),
+            ("SRW1CSSNB", 3, (1, True, True)),
+            ("SRW2NB", 3, (2, False, True)),
+            ("SRW2CSS", 5, (2, True, False)),
+            ("srw2css", 4, (2, True, False)),  # case-insensitive
+        ],
+    )
+    def test_parse(self, name, k, expected):
+        spec = MethodSpec.parse(name, k)
+        assert (spec.d, spec.css, spec.nb) == expected
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            MethodSpec.parse("WALK2", 4)
+        with pytest.raises(ValueError):
+            MethodSpec.parse("SRW", 4)
+        with pytest.raises(ValueError):
+            MethodSpec.parse("SRW2XYZ", 4)
+
+    def test_name_roundtrip(self):
+        for name in ["SRW1", "SRW2CSS", "SRW1CSSNB", "SRW3NB"]:
+            assert MethodSpec.parse(name, 5).name == name
+
+    def test_l_property(self):
+        assert MethodSpec(k=5, d=2).l == 4
+        assert MethodSpec(k=3, d=1).l == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MethodSpec(k=2, d=1)
+        with pytest.raises(ValueError):
+            MethodSpec(k=4, d=5)
+        with pytest.raises(ValueError):
+            MethodSpec(k=4, d=3, css=True)  # l = 2: CSS undefined
+
+
+class TestConvergenceToExact:
+    """Long single runs must land near exact concentrations (SLLN)."""
+
+    @pytest.mark.parametrize(
+        "method", ["SRW1", "SRW1CSS", "SRW1CSSNB", "SRW2", "SRW2NB"]
+    )
+    def test_k3_methods(self, karate, method):
+        truth = exact_concentrations(karate, 3)
+        spec = MethodSpec.parse(method, 3)
+        result = run_estimation(karate, spec, 40_000, rng=random.Random(11))
+        estimate = result.concentrations
+        for index, value in truth.items():
+            assert abs(estimate[index] - value) < 0.15 * value + 0.01
+
+    @pytest.mark.parametrize("method", ["SRW2", "SRW2CSS", "SRW3"])
+    def test_k4_methods(self, karate, method):
+        truth = exact_concentrations(karate, 4)
+        spec = MethodSpec.parse(method, 4)
+        result = run_estimation(karate, spec, 40_000, rng=random.Random(12))
+        estimate = result.concentrations
+        for index, value in truth.items():
+            assert abs(estimate[index] - value) < 0.3 * value + 0.01
+
+    def test_k5_srw2css(self, karate):
+        truth = exact_concentrations(karate, 5)
+        spec = MethodSpec.parse("SRW2CSS", 5)
+        result = run_estimation(karate, spec, 40_000, rng=random.Random(13))
+        estimate = result.concentrations
+        # Check the dominant types (rare 5-node types need larger budgets).
+        for index, value in truth.items():
+            if value > 0.02:
+                assert abs(estimate[index] - value) < 0.3 * value + 0.01
+
+    def test_psrw_k5(self, karate):
+        """PSRW = SRW4 (l = 2, no middle degrees)."""
+        truth = exact_concentrations(karate, 5)
+        result = run_estimation(
+            karate, MethodSpec(k=5, d=4), 2_000, rng=random.Random(14)
+        )
+        dominant = max(truth, key=truth.get)
+        assert abs(result.concentrations[dominant] - truth[dominant]) < 0.2
+
+    def test_srw_on_gk(self, karate):
+        """The degenerate d = k walk (l = 1) weights by 1/deg."""
+        truth = exact_concentrations(karate, 3)
+        result = run_estimation(
+            karate, MethodSpec(k=3, d=3), 4_000, rng=random.Random(15)
+        )
+        for index, value in truth.items():
+            assert abs(result.concentrations[index] - value) < 0.15 * value + 0.02
+
+
+class TestCountEstimation:
+    def test_triangle_count_srw1(self, karate):
+        truth = exact_counts(karate, 3)
+        spec = MethodSpec.parse("SRW1CSS", 3)
+        result = run_estimation(karate, spec, 60_000, rng=random.Random(16))
+        counts = result.counts(relationship_edge_count(karate, 1))
+        for index, value in truth.items():
+            assert abs(counts[index] - value) < 0.2 * value + 2
+
+    def test_four_node_counts_srw2(self, karate):
+        truth = exact_counts(karate, 4)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        result = run_estimation(karate, spec, 60_000, rng=random.Random(17))
+        counts = result.counts(relationship_edge_count(karate, 2))
+        for index, value in truth.items():
+            if value >= 30:
+                assert abs(counts[index] - value) < 0.35 * value
+
+    def test_counts_require_steps(self, karate):
+        result = run_estimation(
+            karate, MethodSpec(k=3, d=1), 100, rng=random.Random(0)
+        )
+        result.steps = 0
+        with pytest.raises(ValueError):
+            result.counts(karate.num_edges)
+
+
+class TestResultSemantics:
+    def test_reproducible_with_seed(self, karate):
+        spec = MethodSpec.parse("SRW2", 4)
+        a = run_estimation(karate, spec, 2_000, rng=random.Random(5))
+        b = run_estimation(karate, spec, 2_000, rng=random.Random(5))
+        assert np.array_equal(a.sums, b.sums)
+
+    def test_steps_must_be_positive(self, karate):
+        with pytest.raises(ValueError):
+            run_estimation(karate, MethodSpec(k=3, d=1), 0)
+
+    def test_valid_samples_bounded_by_steps(self, karate):
+        result = run_estimation(
+            karate, MethodSpec(k=3, d=1), 3_000, rng=random.Random(6)
+        )
+        assert 0 < result.valid_samples <= 3_000
+        assert result.sample_counts.sum() == result.valid_samples
+
+    def test_nb_produces_more_valid_samples(self, karate):
+        """§4.2: NB-SRW reduces invalid samples."""
+        base = run_estimation(
+            karate, MethodSpec.parse("SRW1", 3), 20_000, rng=random.Random(7)
+        )
+        nb = run_estimation(
+            karate, MethodSpec.parse("SRW1NB", 3), 20_000, rng=random.Random(7)
+        )
+        assert nb.valid_samples > base.valid_samples
+
+    def test_unreachable_types_zero(self, karate):
+        """SRW1 on 4-node graphlets cannot see the 3-star."""
+        star = graphlet_by_name(4, "3-star").index
+        result = run_estimation(
+            karate, MethodSpec.parse("SRW1", 4), 10_000, rng=random.Random(8)
+        )
+        assert star in result.unreachable
+        assert result.sums[star] == 0.0
+        assert result.concentrations[star] == 0.0
+
+    def test_concentrations_sum_to_one(self, karate):
+        result = run_estimation(
+            karate, MethodSpec.parse("SRW2CSS", 4), 5_000, rng=random.Random(9)
+        )
+        assert math.isclose(result.concentrations.sum(), 1.0, rel_tol=1e-9)
+
+    def test_concentration_dict_names(self, karate):
+        result = run_estimation(
+            karate, MethodSpec.parse("SRW2", 4), 1_000, rng=random.Random(10)
+        )
+        d = result.concentration_dict()
+        assert set(d) == {g.name for g in graphlets(4)}
+        assert math.isclose(result.concentration_of("clique"), d["clique"])
+
+    def test_burn_in_runs(self, karate):
+        result = run_estimation(
+            karate,
+            MethodSpec.parse("SRW1", 3),
+            1_000,
+            rng=random.Random(11),
+            burn_in=500,
+        )
+        assert result.steps == 1_000
+
+    def test_elapsed_recorded(self, karate):
+        result = run_estimation(
+            karate, MethodSpec.parse("SRW1", 3), 500, rng=random.Random(12)
+        )
+        assert result.elapsed_seconds > 0
+
+
+class TestRestrictedAccess:
+    def test_walk_works_through_api(self, karate):
+        api = RestrictedGraph(karate, seed_node=0)
+        result = run_estimation(
+            api, MethodSpec.parse("SRW1CSSNB", 3), 5_000,
+            rng=random.Random(13), seed_node=0,
+        )
+        truth = exact_concentrations(karate, 3)
+        assert abs(result.concentrations[1] - truth[1]) < 0.1
+        assert result.api_calls is not None and result.api_calls > 0
+
+    def test_api_calls_bounded_by_distinct_nodes(self, karate):
+        api = RestrictedGraph(karate, seed_node=0)
+        run_estimation(
+            api, MethodSpec.parse("SRW1", 3), 10_000,
+            rng=random.Random(14), seed_node=0,
+        )
+        assert api.api_calls <= karate.num_nodes
+
+    def test_estimates_agree_with_full_access(self, karate):
+        spec = MethodSpec.parse("SRW2", 4)
+        full = run_estimation(karate, spec, 5_000, rng=random.Random(15))
+        api = RestrictedGraph(karate, seed_node=0)
+        restricted = run_estimation(
+            api, spec, 5_000, rng=random.Random(15), seed_node=0
+        )
+        assert np.allclose(full.sums, restricted.sums)

@@ -1,0 +1,48 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Only the fast examples are executed end-to-end (the crawl/classification
+studies take minutes by design); the rest are import-checked so a broken
+API surface still fails the suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 3  # the deliverable floor
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_examples_importable_with_main(self, name):
+        module = load_module(name)
+        assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", ["quickstart.py", "node_roles.py"])
+    def test_fast_examples_run(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()

@@ -1,0 +1,111 @@
+"""Tests for Theorem 2: the expanded chain's stationary distribution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.expanded_chain import (
+    enumerate_windows,
+    expanded_transition_matrix,
+    nominal_degree,
+    stationary_weight,
+    theorem2_distribution,
+)
+from repro.graphs.generators import cycle_graph, lollipop_graph
+from repro.relgraph import relationship_graph
+
+
+class TestStationaryWeight:
+    def test_l1_is_degree(self):
+        assert stationary_weight([7]) == 7.0
+
+    def test_l2_is_one(self):
+        assert stationary_weight([3, 9]) == 1.0
+
+    def test_l3_inverse_middle(self):
+        assert math.isclose(stationary_weight([2, 4, 7]), 1 / 4)
+
+    def test_l4_product(self):
+        assert math.isclose(stationary_weight([2, 4, 5, 7]), 1 / 20)
+
+    def test_paper_figure1_example(self, figure1_graph):
+        """§3.2 worked example: walking on G(2) of Figure 1 through states
+        (1,2) -> (1,3) -> (3,4) with degrees 3, 4, 3 gives
+        pi_e = 1/16 * 1/4 = 1/64."""
+        relgraph, states = relationship_graph(figure1_graph, 2)
+        degrees = [3, 4, 3]
+        index = {s: i for i, s in enumerate(states)}
+        # Paper nodes 1..4 are our 0..3: states (0,1), (0,2), (2,3).
+        assert [relgraph.degree(index[s]) for s in [(0, 1), (0, 2), (2, 3)]] == degrees
+        pi_e = stationary_weight(degrees) / (2 * relgraph.num_edges)
+        assert math.isclose(pi_e, 1 / 64)
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_weight([2, 0, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_weight([])
+
+    def test_nominal_degree(self):
+        assert nominal_degree(5) == 4
+        assert nominal_degree(1) == 1
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("l", [1, 2, 3])
+    def test_formula_is_stationary_on_figure1_g2(self, figure1_graph, l):
+        """The closed form of Theorem 2 must be the stationary distribution
+        of the explicitly-built expanded chain."""
+        relgraph, _ = relationship_graph(figure1_graph, 2)
+        matrix, windows = expanded_transition_matrix(relgraph, l)
+        pi = theorem2_distribution(relgraph, windows)
+        assert math.isclose(pi.sum(), 1.0, rel_tol=1e-9)
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    @pytest.mark.parametrize("l", [2, 3])
+    def test_formula_is_stationary_on_g1(self, figure1_graph, l):
+        matrix, windows = expanded_transition_matrix(figure1_graph, l)
+        pi = theorem2_distribution(figure1_graph, windows)
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_formula_on_asymmetric_graph(self):
+        """Lollipop graphs have widely varying degrees — a stronger check
+        than the symmetric classics."""
+        g = lollipop_graph(4, 2)
+        matrix, windows = expanded_transition_matrix(g, 3)
+        pi = theorem2_distribution(g, windows)
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_uniqueness_via_power_iteration(self, figure1_graph):
+        """Power iteration from an arbitrary start converges to the
+        Theorem 2 distribution (irreducibility / uniqueness)."""
+        matrix, windows = expanded_transition_matrix(figure1_graph, 3)
+        pi = theorem2_distribution(figure1_graph, windows)
+        dist = np.full(len(windows), 1.0 / len(windows))
+        for _ in range(400):
+            dist = dist @ matrix
+        # Aperiodic? average two consecutive iterates to kill period-2.
+        dist = 0.5 * (dist + dist @ matrix)
+        assert np.allclose(dist, pi, atol=1e-6)
+
+
+class TestEnumerateWindows:
+    def test_window_count_l2_is_directed_edges(self, figure1_graph):
+        windows = enumerate_windows(figure1_graph, 2)
+        assert len(windows) == 2 * figure1_graph.num_edges
+
+    def test_window_count_l3_matches_wedge_walks(self):
+        g = cycle_graph(5)
+        # On a cycle every node has degree 2: number of length-3 walks is
+        # n * 2 * 2.
+        assert len(enumerate_windows(g, 3)) == 5 * 4
+
+    def test_windows_are_walks(self, figure1_graph):
+        for window in enumerate_windows(figure1_graph, 3):
+            for a, b in zip(window, window[1:]):
+                assert figure1_graph.has_edge(a, b)

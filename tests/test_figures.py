@@ -1,0 +1,74 @@
+"""Tests for ASCII figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.convergence import ConvergenceCurve
+from repro.evaluation.figures import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    convergence_chart,
+)
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = ascii_bar_chart({"SRW1": 0.5, "SRW2": 0.25}, title="errors")
+        lines = chart.splitlines()
+        assert lines[0] == "errors"
+        assert "SRW1" in lines[1] and "0.5000" in lines[1]
+
+    def test_bar_lengths_proportional(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 0.5}, width=40)
+        bars = [line.count("#") for line in chart.splitlines()]
+        assert bars[0] == 2 * bars[1]
+
+    def test_zero_value_no_bar(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 0.0})
+        line_b = chart.splitlines()[1]
+        assert "#" not in line_b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart(
+            [1, 2, 3], {"m1": [1.0, 0.5, 0.2], "m2": [0.9, 0.6, 0.3]}
+        )
+        assert "*" in chart and "+" in chart
+        assert "*=m1" in chart and "+=m2" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_line_chart([0, 10], {"s": [0.0, 5.0]})
+        assert "5" in chart and "0" in chart
+        assert "x: 0 .. 10" in chart
+
+    def test_constant_series_ok(self):
+        chart = ascii_line_chart([1, 2], {"flat": [1.0, 1.0]})
+        assert "flat" in chart
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {"bad": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1], {})
+
+
+class TestConvergenceChart:
+    def test_renders_curves(self):
+        curves = [
+            ConvergenceCurve("SRW1", 3, 1, [100, 200], [0.5, 0.3]),
+            ConvergenceCurve("SRW1CSS", 3, 1, [100, 200], [0.4, 0.2]),
+        ]
+        chart = convergence_chart(curves)
+        assert "SRW1" in chart and "SRW1CSS" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_chart([])

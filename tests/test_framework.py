@@ -1,0 +1,76 @@
+"""Tests for the high-level GraphletEstimator API."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    GraphletEstimator,
+    estimate_concentration,
+    estimate_counts,
+    recommended_method,
+)
+from repro.exact import exact_concentrations, exact_counts
+from repro.graphs import RestrictedGraph, load_dataset
+
+
+class TestRecommendedMethods:
+    def test_paper_recommendations(self):
+        assert recommended_method(3) == "SRW1CSSNB"
+        assert recommended_method(4) == "SRW2CSS"
+        assert recommended_method(5) == "SRW2CSS"
+
+
+class TestGraphletEstimator:
+    def test_default_method_resolution(self, karate):
+        est = GraphletEstimator(karate, k=4, seed=1)
+        assert est.method == "SRW2CSS"
+
+    def test_explicit_method(self, karate):
+        est = GraphletEstimator(karate, k=3, method="SRW2NB", seed=1)
+        assert est.method == "SRW2NB"
+
+    def test_run_returns_result(self, karate):
+        est = GraphletEstimator(karate, k=3, seed=2)
+        result = est.run(2_000)
+        assert result.steps == 2_000
+        assert est.last_result is result
+
+    def test_sequential_runs_differ(self, karate):
+        """Subsequent runs continue the RNG stream (independent trials)."""
+        est = GraphletEstimator(karate, k=3, method="SRW1", seed=3)
+        a = est.run(1_000)
+        b = est.run(1_000)
+        assert not (a.sums == b.sums).all()
+
+    def test_invalid_method_rejected(self, karate):
+        with pytest.raises(ValueError):
+            GraphletEstimator(karate, k=3, method="MAGIC")
+
+
+class TestOneShots:
+    def test_estimate_concentration(self, karate):
+        truth = exact_concentrations(karate, 3)
+        estimate = estimate_concentration(karate, 3, steps=30_000, seed=4)
+        assert abs(estimate["triangle"] - truth[1]) < 0.02
+        assert math.isclose(sum(estimate.values()), 1.0, rel_tol=1e-9)
+
+    def test_estimate_counts_computes_r_d(self, karate):
+        truth = exact_counts(karate, 3)
+        counts = estimate_counts(karate, 3, steps=40_000, seed=5)
+        assert abs(counts["triangle"] - truth[1]) < 0.25 * truth[1]
+        assert abs(counts["wedge"] - truth[0]) < 0.25 * truth[0]
+
+    def test_estimate_counts_explicit_r_d(self, karate):
+        counts = estimate_counts(
+            karate, 3, steps=20_000, seed=6, relationship_edges=karate.num_edges
+        )
+        assert counts["triangle"] > 0
+
+    def test_estimate_counts_restricted_graph_unwraps(self, karate):
+        api = RestrictedGraph(karate, seed_node=0)
+        counts = estimate_counts(api, 3, steps=20_000, seed=7, method="SRW1")
+        truth = exact_counts(karate, 3)
+        assert abs(counts["triangle"] - truth[1]) < 0.4 * truth[1]

@@ -1,0 +1,161 @@
+"""Tests for the core Graph type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, GraphError
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+
+
+def random_edge_lists(max_nodes: int = 12):
+    """Hypothesis strategy: (num_nodes, edge list) pairs."""
+    return st.integers(min_value=2, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=3 * n,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_isolated_nodes(self):
+        g = Graph(5)
+        assert g.num_nodes == 5
+        assert g.degrees() == [0] * 5
+
+    def test_simple_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.neighbors(1) == [0, 2]
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 5)])
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_from_edges_infers_size(self):
+        g = Graph.from_edges([(0, 3), (3, 5)])
+        assert g.num_nodes == 6
+        assert g.num_edges == 2
+
+    def test_from_edges_explicit_size(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 2)
+
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        assert g == h
+        assert g is not h
+        assert g._adj is not h._adj
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == [0, 1, 3]
+
+    def test_edges_canonical_order(self):
+        g = Graph(4, [(3, 2), (1, 0)])
+        assert list(g.edges()) == [(0, 1), (2, 3)]
+
+    def test_has_edge_symmetric(self):
+        g = Graph(3, [(0, 2)])
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_degree_and_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.max_degree() == 3
+        assert Graph(0).max_degree() == 0
+
+    def test_neighbor_set_matches_list(self):
+        g = cycle_graph(7)
+        for v in g.nodes():
+            assert g.neighbor_set(v) == set(g.neighbors(v))
+
+    def test_equality_by_structure(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+
+class TestInducedSubgraphs:
+    def test_induced_edges_triangle(self, k5):
+        assert sorted(k5.induced_edges([0, 1, 2])) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_induced_edge_count(self, k5):
+        assert k5.induced_edge_count([0, 1, 2, 3]) == 6
+
+    def test_induced_edges_empty_for_independent_set(self):
+        g = path_graph(5)
+        assert g.induced_edges([0, 2, 4]) == []
+
+    def test_is_connected_subset(self):
+        g = path_graph(5)
+        assert g.is_connected_subset([0, 1, 2])
+        assert not g.is_connected_subset([0, 2])
+        assert not g.is_connected_subset([])
+
+    def test_is_connected_subset_single_node(self):
+        g = path_graph(3)
+        assert g.is_connected_subset([1])
+
+
+class TestDerivedQuantities:
+    def test_edge_relationship_count_formula(self):
+        # |R(2)| = sum_v C(d_v, 2): path of 3 nodes has one wedge.
+        assert path_graph(3).edge_relationship_count() == 1
+        # K4: each node has C(3,2)=3 wedges -> 12.
+        assert complete_graph(4).edge_relationship_count() == 12
+
+    def test_edge_relationship_matches_paper_figure1(self, figure1_graph):
+        # The paper's Figure 1 example states |R(2)| = 8.
+        assert figure1_graph.edge_relationship_count() == 8
+
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_edge_relationship_equals_pairwise_definition(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        expected = sum(
+            g.degree(u) + g.degree(v) - 2 for u, v in g.edges()
+        ) // 2
+        assert g.edge_relationship_count() == expected
+
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sum_is_twice_edges(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        assert sum(g.degrees()) == 2 * g.num_edges

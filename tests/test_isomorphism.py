@@ -1,0 +1,170 @@
+"""Tests for canonical forms and bitmask machinery."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphlets.isomorphism import (
+    are_isomorphic,
+    automorphism_count,
+    bitmask_to_edges,
+    canonical_certificate,
+    certificate_of_edges,
+    connected_subsets,
+    degree_sequence_of_mask,
+    edges_to_bitmask,
+    find_isomorphism,
+    is_connected_mask,
+    pair_index,
+    pair_table,
+    relabel_bitmask,
+)
+
+
+def masks(k: int):
+    return st.integers(min_value=0, max_value=(1 << (k * (k - 1) // 2)) - 1)
+
+
+class TestPairIndex:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_bijection_with_pair_table(self, k):
+        table = pair_table(k)
+        assert len(table) == k * (k - 1) // 2
+        for b, (i, j) in enumerate(table):
+            assert pair_index(i, j, k) == b
+            assert pair_index(j, i, k) == b  # order-insensitive
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            pair_index(2, 2, 4)
+        with pytest.raises(ValueError):
+            pair_index(0, 4, 4)
+
+    def test_edges_bitmask_roundtrip(self):
+        edges = [(0, 2), (1, 3), (2, 3)]
+        mask = edges_to_bitmask(edges, 4)
+        assert sorted(bitmask_to_edges(mask, 4)) == sorted(edges)
+
+
+class TestRelabeling:
+    @given(masks(4), st.permutations(list(range(4))))
+    @settings(max_examples=60, deadline=None)
+    def test_relabel_preserves_edge_count(self, mask, perm):
+        out = relabel_bitmask(mask, perm, 4)
+        assert bin(out).count("1") == bin(mask).count("1")
+
+    @given(masks(5), st.permutations(list(range(5))))
+    @settings(max_examples=60, deadline=None)
+    def test_relabel_invertible(self, mask, perm):
+        inverse = [0] * 5
+        for i, p in enumerate(perm):
+            inverse[p] = i
+        assert relabel_bitmask(relabel_bitmask(mask, perm, 5), inverse, 5) == mask
+
+
+class TestCertificates:
+    @given(masks(4), st.permutations(list(range(4))))
+    @settings(max_examples=80, deadline=None)
+    def test_certificate_invariant_under_relabeling(self, mask, perm):
+        relabeled = relabel_bitmask(mask, perm, 4)
+        assert canonical_certificate(mask, 4) == canonical_certificate(relabeled, 4)
+
+    @given(masks(4))
+    @settings(max_examples=60, deadline=None)
+    def test_certificate_is_a_relabeling(self, mask):
+        cert = canonical_certificate(mask, 4)
+        assert any(
+            relabel_bitmask(mask, perm, 4) == cert
+            for perm in permutations(range(4))
+        )
+
+    @given(masks(5))
+    @settings(max_examples=40, deadline=None)
+    def test_certificate_matches_networkx_isomorphism(self, mask):
+        """Two masks share a certificate iff networkx deems them isomorphic
+        (checked against a random relabeling and a random perturbation)."""
+        edges = bitmask_to_edges(mask, 5)
+        g1 = nx.Graph(edges)
+        g1.add_nodes_from(range(5))
+        # A relabeled copy must match.
+        perm = [4, 0, 3, 1, 2]
+        relabeled = relabel_bitmask(mask, perm, 5)
+        g2 = nx.Graph(bitmask_to_edges(relabeled, 5))
+        g2.add_nodes_from(range(5))
+        assert nx.is_isomorphic(g1, g2)
+        assert canonical_certificate(mask, 5) == canonical_certificate(relabeled, 5)
+
+    def test_nonisomorphic_distinct(self):
+        path = edges_to_bitmask([(0, 1), (1, 2), (2, 3)], 4)
+        star = edges_to_bitmask([(0, 1), (0, 2), (0, 3)], 4)
+        assert canonical_certificate(path, 4) != canonical_certificate(star, 4)
+
+
+class TestIsomorphismHelpers:
+    def test_are_isomorphic(self):
+        assert are_isomorphic([(0, 1), (1, 2)], [(2, 0), (0, 1)], 3)
+        assert not are_isomorphic([(0, 1), (1, 2)], [(0, 1), (1, 2), (0, 2)], 3)
+
+    def test_find_isomorphism_valid_map(self):
+        a = [(0, 1), (1, 2), (2, 3)]
+        b = [(3, 2), (2, 1), (1, 0)]
+        perm = find_isomorphism(a, b, 4)
+        mapped = {(min(perm[u], perm[v]), max(perm[u], perm[v])) for u, v in a}
+        expected = {(min(u, v), max(u, v)) for u, v in b}
+        assert mapped == expected
+
+    def test_find_isomorphism_failure(self):
+        with pytest.raises(ValueError):
+            find_isomorphism([(0, 1)], [(0, 1), (1, 2)], 3)
+
+
+class TestInvariants:
+    def test_degree_sequence(self):
+        star = edges_to_bitmask([(0, 1), (0, 2), (0, 3)], 4)
+        assert degree_sequence_of_mask(star, 4) == (3, 1, 1, 1)
+
+    def test_connectivity(self):
+        assert is_connected_mask(edges_to_bitmask([(0, 1), (1, 2)], 3), 3)
+        assert not is_connected_mask(edges_to_bitmask([(0, 1)], 3), 3)
+        assert not is_connected_mask(0, 3)
+
+    @pytest.mark.parametrize(
+        "edges, k, expected",
+        [
+            ([(0, 1), (1, 2), (0, 2)], 3, 6),  # triangle: S3
+            ([(0, 1), (1, 2)], 3, 2),  # wedge: swap endpoints
+            ([(i, j) for i in range(4) for j in range(i + 1, 4)], 4, 24),  # K4
+            ([(0, 1), (1, 2), (2, 3)], 4, 2),  # path: reversal
+        ],
+    )
+    def test_automorphism_counts(self, edges, k, expected):
+        assert automorphism_count(edges_to_bitmask(edges, k), k) == expected
+
+
+class TestConnectedSubsets:
+    def test_triangle_all_pairs(self):
+        subsets = connected_subsets([(0, 1), (1, 2), (0, 2)], 3, 2)
+        assert len(subsets) == 3
+
+    def test_wedge_excludes_nonedge(self):
+        subsets = connected_subsets([(0, 1), (1, 2)], 3, 2)
+        assert frozenset({0, 2}) not in subsets
+        assert len(subsets) == 2
+
+    def test_path5_four_subsets(self):
+        # P5: 4-node connected induced subgraphs are the two windows.
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        subsets = connected_subsets(edges, 5, 4)
+        assert sorted(tuple(sorted(s)) for s in subsets) == [
+            (0, 1, 2, 3),
+            (1, 2, 3, 4),
+        ]
+
+    def test_singletons(self):
+        subsets = connected_subsets([(0, 1)], 2, 1)
+        assert len(subsets) == 2

@@ -1,0 +1,123 @@
+"""Tests for mixing-time / spectral tools."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    lollipop_graph,
+    path_graph,
+)
+from repro.walks import (
+    effective_sample_size,
+    mixing_time_exact,
+    mixing_time_spectral,
+    slem,
+    spectral_gap,
+    stationary_distribution,
+    total_variation,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self, karate):
+        matrix = transition_matrix(karate)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(ValueError):
+            transition_matrix(Graph(2, []))
+
+    def test_stationary_is_left_eigenvector(self, karate):
+        matrix = transition_matrix(karate)
+        pi = stationary_distribution(karate)
+        assert np.allclose(pi @ matrix, pi)
+        assert math.isclose(pi.sum(), 1.0)
+
+    def test_stationary_requires_edges(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(Graph(3, []))
+
+
+class TestSpectral:
+    def test_complete_graph_slem(self):
+        """K_n has SLEM 1/(n-1)."""
+        assert math.isclose(slem(complete_graph(6)), 1 / 5, abs_tol=1e-9)
+
+    def test_cycle_slem(self):
+        """C_n has eigenvalues cos(2 pi k / n); for even n the SLEM is 1
+        (bipartite, periodic)."""
+        assert math.isclose(slem(cycle_graph(6)), 1.0, abs_tol=1e-9)
+        assert math.isclose(
+            slem(cycle_graph(5)), abs(math.cos(2 * math.pi * 2 / 5)), abs_tol=1e-9
+        ) or math.isclose(
+            slem(cycle_graph(5)), abs(math.cos(2 * math.pi / 5)), abs_tol=1e-9
+        )
+
+    def test_gap_positive_for_nonbipartite(self, karate):
+        assert spectral_gap(karate) > 0
+
+    def test_bipartite_bound_diverges(self):
+        assert mixing_time_spectral(path_graph(4)) == math.inf
+
+
+class TestExactMixing:
+    def test_complete_graph_mixes_fast(self):
+        assert mixing_time_exact(complete_graph(8)) <= 3
+
+    def test_lollipop_slower_than_complete(self):
+        fast = mixing_time_exact(complete_graph(8))
+        slow = mixing_time_exact(lollipop_graph(8, 8))
+        assert slow > 3 * fast
+
+    def test_spectral_upper_bounds_exact(self, karate):
+        exact = mixing_time_exact(karate)
+        bound = mixing_time_spectral(karate)
+        assert bound >= exact
+
+    def test_bipartite_raises(self):
+        with pytest.raises(RuntimeError):
+            mixing_time_exact(cycle_graph(4), max_steps=200)
+
+    def test_epsilon_validation(self, karate):
+        with pytest.raises(ValueError):
+            mixing_time_spectral(karate, epsilon=2.0)
+
+    def test_monotone_in_epsilon(self, karate):
+        loose = mixing_time_exact(karate, epsilon=0.25)
+        tight = mixing_time_exact(karate, epsilon=0.01)
+        assert tight >= loose
+
+
+class TestHelpers:
+    def test_total_variation(self):
+        p = np.array([0.5, 0.5, 0.0])
+        q = np.array([0.0, 0.5, 0.5])
+        assert math.isclose(total_variation(p, q), 0.5)
+
+    def test_total_variation_identical(self):
+        p = np.array([0.3, 0.7])
+        assert total_variation(p, p) == 0.0
+
+    def test_effective_sample_size_iid(self):
+        import random
+
+        rng = random.Random(0)
+        trace = [rng.random() for _ in range(2000)]
+        ess = effective_sample_size(trace)
+        assert ess > 1000  # iid noise: ESS close to n
+
+    def test_effective_sample_size_correlated(self):
+        # A slowly-varying trace has tiny ESS.
+        trace = [math.sin(i / 200) for i in range(2000)]
+        assert effective_sample_size(trace) < 100
+
+    def test_effective_sample_size_short(self):
+        assert effective_sample_size([1.0, 2.0]) == 2.0

@@ -1,0 +1,89 @@
+"""Exact verification of the NB-SRW theory (§4.2).
+
+Builds the non-backtracking walk's transition matrix P' on the augmented
+state space Omega = {directed edges of G(d)} exactly as defined in §4.2 and
+verifies, with linear algebra rather than sampling:
+
+* P' is row-stochastic,
+* the uniform distribution over directed edges (pi'(e) = 1/2|R(d)|) is
+  stationary — hence pi'(v) = d_v / 2|R(d)|, the paper's "NB-SRW preserves
+  the stationary distribution" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, load_dataset
+from repro.graphs.generators import cycle_graph, lollipop_graph, star_graph
+from repro.relgraph import relationship_graph
+
+
+def nb_transition_matrix(graph: Graph) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """P' over directed edges, per the §4.2 definition."""
+    directed = [(u, v) for u, v in graph.edges()] + [
+        (v, u) for u, v in graph.edges()
+    ]
+    index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(directed)}
+    matrix = np.zeros((len(directed), len(directed)))
+    for (i, j), row in index.items():
+        degree_j = graph.degree(j)
+        for k in graph.neighbors(j):
+            col = index[(j, k)]
+            if degree_j >= 2:
+                if k != i:
+                    matrix[row, col] = 1.0 / (degree_j - 1)
+            else:
+                # Degree-1 state: forced backtrack.
+                matrix[row, col] = 1.0 if k == i else 0.0
+    return matrix, directed
+
+
+GRAPHS = {
+    "lollipop": lambda: lollipop_graph(4, 2),
+    "star": lambda: star_graph(4),
+    "cycle": lambda: cycle_graph(5),
+}
+
+
+class TestNBTransitionMatrix:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_row_stochastic(self, name):
+        matrix, _ = nb_transition_matrix(GRAPHS[name]())
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_uniform_edge_distribution_stationary(self, name):
+        matrix, directed = nb_transition_matrix(GRAPHS[name]())
+        pi = np.full(len(directed), 1.0 / len(directed))
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_node_marginal_is_degree_proportional(self, figure1_graph):
+        """Summing the uniform edge distribution over incoming edges gives
+        pi'(v) = d_v / 2|E|."""
+        matrix, directed = nb_transition_matrix(figure1_graph)
+        pi = np.full(len(directed), 1.0 / len(directed))
+        node_marginal = np.zeros(figure1_graph.num_nodes)
+        for (u, v), weight in zip(directed, pi):
+            node_marginal[v] += weight
+        degrees = np.array(figure1_graph.degrees(), dtype=float)
+        assert np.allclose(node_marginal, degrees / degrees.sum())
+
+    def test_stationary_on_relationship_graph(self, figure1_graph):
+        """The same holds for the NB walk on G(2) — the form actually used
+        by SRW2...NB methods."""
+        relgraph, _ = relationship_graph(figure1_graph, 2)
+        matrix, directed = nb_transition_matrix(relgraph)
+        pi = np.full(len(directed), 1.0 / len(directed))
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_no_backtracking_probability_mass(self, karate):
+        """Wherever degree >= 2, the reverse edge gets zero probability."""
+        matrix, directed = nb_transition_matrix(karate)
+        index = {e: i for i, e in enumerate(directed)}
+        for (i, j), row in list(index.items())[:200]:
+            if karate.degree(j) >= 2:
+                assert matrix[row, index[(j, i)]] == 0.0

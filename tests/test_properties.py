@@ -1,0 +1,150 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the structural invariants that tie the subsystems together:
+relationship-graph symmetry, walk-space/explicit-construction agreement,
+estimator weight positivity, and count/concentration consistency — on
+arbitrary random connected graphs rather than curated fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha import alpha_table
+from repro.core.estimator import MethodSpec, run_estimation
+from repro.exact import exact_counts
+from repro.graphlets import graphlets
+from repro.graphs import Graph, largest_connected_component
+from repro.relgraph import relationship_graph, walk_space
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=12):
+    """Random connected graphs: a random tree plus random extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    rng_seed = draw(st.integers(0, 10_000))
+    rng = random.Random(rng_seed)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]  # random tree
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((min(u, v), max(u, v)))
+    return Graph(n, edges)
+
+
+class TestRelationshipGraphProperties:
+    @given(connected_graphs(), st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_relationship_graph_is_connected(self, graph, d):
+        """Theorem 3.1 of [36] on arbitrary connected graphs."""
+        from repro.graphs import is_connected
+
+        relgraph, states = relationship_graph(graph, d)
+        assert relgraph.num_nodes == len(states)
+        if relgraph.num_nodes > 0:
+            assert is_connected(relgraph)
+
+    @given(connected_graphs(), st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_space_neighbors_match_construction(self, graph, d):
+        """On-the-fly neighbor generation == explicit R(d) edges, for every
+        state (full agreement, not spot checks)."""
+        space = walk_space(d)
+        relgraph, states = relationship_graph(graph, d)
+        index = {s: i for i, s in enumerate(states)}
+        for state in states:
+            expected = {states[j] for j in relgraph.neighbors(index[state])}
+            assert set(space.neighbors(graph, state)) == expected
+
+    @given(connected_graphs(min_nodes=5, max_nodes=10))
+    @settings(max_examples=15, deadline=None)
+    def test_d4_neighbors_match_construction(self, graph):
+        """The d=4 set-algebra fast path against the oracle."""
+        space = walk_space(4)
+        relgraph, states = relationship_graph(graph, 4)
+        index = {s: i for i, s in enumerate(states)}
+        for state in states:
+            expected = {states[j] for j in relgraph.neighbors(index[state])}
+            assert set(space.neighbors(graph, state)) == expected
+
+    @given(connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_edge_space_degree_formula(self, graph):
+        space = walk_space(2)
+        for u, v in graph.edges():
+            assert space.degree(graph, (u, v)) == graph.degree(u) + graph.degree(v) - 2
+
+
+class TestEstimatorProperties:
+    @given(connected_graphs(min_nodes=6), st.sampled_from(["SRW1", "SRW2", "SRW2NB"]))
+    @settings(max_examples=15, deadline=None)
+    def test_result_invariants(self, graph, method):
+        spec = MethodSpec.parse(method, 3)
+        result = run_estimation(graph, spec, 300, rng=random.Random(0))
+        assert (result.sums >= 0).all()
+        assert result.valid_samples == result.sample_counts.sum()
+        total = result.concentrations.sum()
+        assert total == 0 or abs(total - 1.0) < 1e-9
+
+    @given(connected_graphs(min_nodes=6))
+    @settings(max_examples=10, deadline=None)
+    def test_types_without_alpha_never_sampled(self, graph):
+        result = run_estimation(
+            graph, MethodSpec.parse("SRW1", 4), 300, rng=random.Random(1)
+        )
+        for index in result.unreachable:
+            assert result.sample_counts[index] == 0
+
+    @given(connected_graphs(min_nodes=6))
+    @settings(max_examples=10, deadline=None)
+    def test_sampled_types_exist_in_graph(self, graph):
+        """Every type the walk reports must actually occur in the graph."""
+        truth = exact_counts(graph, 4)
+        result = run_estimation(
+            graph, MethodSpec.parse("SRW2", 4), 500, rng=random.Random(2)
+        )
+        for g in graphlets(4):
+            if result.sample_counts[g.index] > 0:
+                assert truth[g.index] > 0
+
+
+class TestAlphaProperties:
+    @given(st.sampled_from([3, 4, 5]), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_alpha_values_even(self, k, d):
+        """Every corresponding sequence pairs with its reversal, so alpha
+        is even (for d < k)."""
+        if d >= k:
+            return
+        for value in alpha_table(k, d):
+            assert value % 2 == 0
+
+    @given(connected_graphs(min_nodes=5, max_nodes=9))
+    @settings(max_examples=10, deadline=None)
+    def test_weighted_concentration_normalizes(self, graph):
+        from repro.core.bounds import weighted_concentration
+
+        truth = exact_counts(graph, 4)
+        if sum(truth.values()) == 0:
+            return
+        weighted = weighted_concentration(graph, 4, 2, counts=truth)
+        assert abs(sum(weighted.values()) - 1.0) < 1e-9
+
+
+class TestLCCProperties:
+    @given(
+        st.integers(2, 14),
+        st.lists(st.tuples(st.integers(0, 13), st.integers(0, 13)), max_size=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lcc_idempotent(self, n, raw_edges):
+        edges = [(u % n, v % n) for u, v in raw_edges if u % n != v % n]
+        g = Graph(n, edges)
+        lcc1, _ = largest_connected_component(g)
+        lcc2, _ = largest_connected_component(lcc1)
+        assert lcc1 == lcc2

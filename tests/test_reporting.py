@@ -1,0 +1,80 @@
+"""Tests for the reproduction-report driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import (
+    ReportSection,
+    ReproductionReport,
+    build_report,
+    section_alpha,
+    section_weighted_concentration,
+)
+
+
+class TestSections:
+    def test_alpha_section_holds(self):
+        section = section_alpha()
+        assert section.claim_holds
+        assert len(section.rows) == 3
+
+    def test_weighted_concentration_section(self):
+        section = section_weighted_concentration("karate")
+        assert section.claim_holds
+        assert len(section.rows) == 6  # one row per 4-node graphlet
+
+    def test_section_render(self):
+        section = ReportSection(
+            title="T", headers=["a"], rows=[[1]], claim="c", claim_holds=True
+        )
+        text = section.render()
+        assert "## T" in text and "HOLDS" in text
+
+    def test_section_render_failure_status(self):
+        section = ReportSection(
+            title="T", headers=["a"], rows=[[1]], claim="c", claim_holds=False,
+            notes="why",
+        )
+        text = section.render()
+        assert "DOES NOT HOLD" in text and "why" in text
+
+
+class TestReport:
+    def test_empty_report_holds(self):
+        report = ReproductionReport()
+        assert report.all_claims_hold
+        assert "Reproduction report" in report.render()
+
+    def test_verdict_reflects_sections(self):
+        bad = ReportSection("T", ["a"], [[1]], "c", claim_holds=False)
+        report = ReproductionReport(sections=[bad])
+        assert not report.all_claims_hold
+        assert "WARNING" in report.render()
+
+    @pytest.mark.slow
+    def test_quick_report_end_to_end(self):
+        """The full quick report at a tiny budget: all sections build and
+        render; the deterministic sections must hold."""
+        report = build_report(quick=True, seed=3)
+        text = report.render()
+        assert text.count("## ") == 5
+        assert report.sections[0].claim_holds  # alpha: deterministic
+        assert report.sections[2].claim_holds  # weighted conc: deterministic
+
+
+class TestCLIIntegration:
+    def test_report_written_to_file(self, tmp_path, monkeypatch):
+        """Exercise the CLI path with stubbed (instant) sections."""
+        import repro.cli as cli
+        import repro.reporting as reporting
+
+        def fake_build(quick=True, seed=0, datasets=None):
+            return ReproductionReport(
+                sections=[ReportSection("T", ["a"], [[1]], "c", True)]
+            )
+
+        monkeypatch.setattr(reporting, "build_report", fake_build)
+        out = tmp_path / "report.md"
+        assert cli.main(["report", "--output", str(out)]) == 0
+        assert "## T" in out.read_text()

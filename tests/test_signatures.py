@@ -1,0 +1,89 @@
+"""Tests for degree-signature classification (the paper's §5 fast path)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphlets import (
+    ambiguous_signatures,
+    classify_bitmask,
+    classify_by_signature,
+    graphlet_by_name,
+    is_connected_mask,
+    signature_candidates,
+    signature_of_bitmask,
+    signature_of_nodes,
+    signature_table,
+)
+from repro.graphs.generators import complete_graph, path_graph
+
+
+class TestSignatureTable:
+    def test_k4_signatures_unique(self):
+        """For k <= 4 degree signatures are a complete invariant."""
+        assert ambiguous_signatures(3) == {}
+        assert ambiguous_signatures(4) == {}
+
+    def test_k5_known_collisions(self):
+        """The two k=5 signature collisions: tadpole/banner and K23/house.
+
+        This is why naive degree-signature classification (as in GUISE) is
+        insufficient for 5-node graphlets.
+        """
+        collisions = ambiguous_signatures(5)
+        assert (3, 2, 2, 2, 1) in collisions
+        assert (3, 3, 2, 2, 2) in collisions
+        assert len(collisions) == 2
+        tadpole = graphlet_by_name(5, "tadpole").index
+        banner = graphlet_by_name(5, "banner").index
+        assert set(collisions[(3, 2, 2, 2, 1)]) == {tadpole, banner}
+        k23 = graphlet_by_name(5, "K23").index
+        house = graphlet_by_name(5, "house").index
+        assert set(collisions[(3, 3, 2, 2, 2)]) == {k23, house}
+
+    def test_candidates_lookup(self):
+        assert signature_candidates((2, 1, 1), 3) == (0,)  # wedge
+        assert signature_candidates((9, 9, 9), 3) == ()
+
+    def test_table_covers_all_types(self):
+        for k in (3, 4, 5):
+            covered = [i for c in signature_table(k).values() for i in c]
+            assert sorted(covered) == list(range(len(covered)))
+
+
+class TestClassifyBySignature:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_agrees_with_canonical_classifier_exhaustively(self, k):
+        bits = k * (k - 1) // 2
+        for mask in range(1 << bits):
+            if is_connected_mask(mask, k):
+                assert classify_by_signature(mask, k) == classify_bitmask(mask, k)
+
+    def test_disconnected_raises(self):
+        with pytest.raises(KeyError):
+            classify_by_signature(0, 4)
+
+    @given(st.integers(0, (1 << 10) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_agreement_property(self, mask):
+        if is_connected_mask(mask, 5):
+            assert classify_by_signature(mask, 5) == classify_bitmask(mask, 5)
+
+
+class TestSignatureOfNodes:
+    def test_path_signature(self):
+        g = path_graph(5)
+        assert signature_of_nodes(g, [0, 1, 2, 3, 4]) == (2, 2, 2, 1, 1)
+
+    def test_clique_signature(self):
+        g = complete_graph(4)
+        assert signature_of_nodes(g, [0, 1, 2, 3]) == (3, 3, 3, 3)
+
+    def test_matches_bitmask_signature(self, figure1_graph):
+        from repro.graphlets import induced_bitmask
+
+        nodes = [0, 1, 2, 3]
+        mask = induced_bitmask(figure1_graph, nodes)
+        assert signature_of_nodes(figure1_graph, nodes) == signature_of_bitmask(mask, 4)

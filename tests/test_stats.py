@@ -1,0 +1,109 @@
+"""Tests for descriptive graph statistics."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, load_dataset
+from repro.graphs.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    powerlaw_configuration,
+    star_graph,
+)
+from repro.graphs.stats import (
+    average_degree,
+    degree_assortativity,
+    degree_histogram,
+    density,
+    estimated_diameter,
+    powerlaw_exponent_mle,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_degree_histogram(self):
+        assert degree_histogram(star_graph(4)) == {4: 1, 1: 4}
+
+    def test_average_degree(self):
+        assert average_degree(cycle_graph(7)) == 2.0
+        with pytest.raises(ValueError):
+            average_degree(Graph(0))
+
+    def test_density(self):
+        assert density(complete_graph(5)) == 1.0
+        assert density(Graph(5, [])) == 0.0
+        with pytest.raises(ValueError):
+            density(Graph(1))
+
+
+class TestAssortativity:
+    def test_star_is_disassortative(self):
+        assert degree_assortativity(star_graph(5)) == -1.0
+
+    def test_regular_graph_degenerate(self):
+        assert degree_assortativity(cycle_graph(6)) == 0.0
+
+    def test_matches_networkx(self, karate):
+        expected = nx.degree_assortativity_coefficient(nx.karate_club_graph())
+        assert math.isclose(degree_assortativity(karate), expected, rel_tol=1e-9)
+
+    def test_no_edges_raises(self):
+        with pytest.raises(ValueError):
+            degree_assortativity(Graph(3, []))
+
+
+class TestDiameter:
+    def test_path_diameter_exact(self):
+        assert estimated_diameter(path_graph(10), seed=1) == 9
+
+    def test_complete_graph(self):
+        assert estimated_diameter(complete_graph(6), seed=1) == 1
+
+    def test_lower_bounds_true_diameter(self, karate):
+        true_diameter = nx.diameter(nx.karate_club_graph())
+        estimate = estimated_diameter(karate, samples=10, seed=2)
+        assert estimate <= true_diameter
+        assert estimate >= true_diameter - 1  # double sweep is near-exact
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimated_diameter(Graph(0))
+
+
+class TestPowerlawMLE:
+    def test_recovers_configuration_exponent_roughly(self):
+        g = powerlaw_configuration(4000, 2.5, min_degree=2, seed=3)
+        estimate = powerlaw_exponent_mle(g, d_min=2)
+        assert 2.0 < estimate < 3.2
+
+    def test_ba_exponent_near_three(self):
+        g = barabasi_albert(4000, 3, seed=4)
+        estimate = powerlaw_exponent_mle(g, d_min=5)
+        assert 2.2 < estimate < 4.0
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            powerlaw_exponent_mle(path_graph(3), d_min=10)
+
+
+class TestSummary:
+    def test_summary_fields(self, karate):
+        summary = summarize(karate)
+        assert summary.num_nodes == 34
+        assert summary.num_edges == 78
+        assert math.isclose(summary.average_degree, 2 * 78 / 34)
+        assert summary.max_degree == 17
+        assert 0 < summary.clustering_coefficient < 1
+        assert summary.diameter_lower_bound >= 4
+
+    def test_summary_on_synthetic(self):
+        summary = summarize(load_dataset("slashdot-like"))
+        assert summary.density < 0.1
+        assert summary.assortativity < 0.2  # BA graphs are not assortative

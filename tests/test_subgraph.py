@@ -1,0 +1,112 @@
+"""Tests for subgraph extraction utilities."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, load_dataset
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.subgraph import (
+    core_numbers,
+    degeneracy,
+    ego_network,
+    induced_subgraph,
+    k_core,
+)
+
+
+class TestInducedSubgraph:
+    def test_relabeling(self, karate):
+        sub, mapping = induced_subgraph(karate, [5, 0, 10])
+        assert sub.num_nodes == 3
+        assert sorted(mapping.values()) == [0, 1, 2]
+
+    def test_edges_preserved(self, k5):
+        sub, mapping = induced_subgraph(k5, [0, 2, 4])
+        assert sub.num_edges == 3  # triangle
+
+    def test_duplicates_collapsed(self):
+        sub, _ = induced_subgraph(path_graph(4), [1, 1, 2])
+        assert sub.num_nodes == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(path_graph(3), [5])
+
+    def test_degrees_bounded_by_original(self, karate):
+        nodes = list(range(10))
+        sub, mapping = induced_subgraph(karate, nodes)
+        for old in nodes:
+            assert sub.degree(mapping[old]) <= karate.degree(old)
+
+
+class TestEgoNetwork:
+    def test_radius_zero(self, karate):
+        ego, mapping = ego_network(karate, 0, radius=0)
+        assert ego.num_nodes == 1
+
+    def test_radius_one_star(self):
+        g = star_graph(5)
+        ego, _ = ego_network(g, 0, radius=1)
+        assert ego.num_nodes == 6  # whole star
+
+    def test_radius_one_leaf(self):
+        g = star_graph(5)
+        ego, _ = ego_network(g, 1, radius=1)
+        assert ego.num_nodes == 2  # leaf + center
+
+    def test_radius_grows_monotonically(self, karate):
+        sizes = [
+            ego_network(karate, 0, radius=r)[0].num_nodes for r in range(4)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_negative_radius(self, karate):
+        with pytest.raises(ValueError):
+            ego_network(karate, 0, radius=-1)
+
+    def test_matches_networkx(self, karate):
+        nxg = nx.karate_club_graph()
+        expected = nx.ego_graph(nxg, 33, radius=2)
+        ego, _ = ego_network(karate, 33, radius=2)
+        assert ego.num_nodes == expected.number_of_nodes()
+        assert ego.num_edges == expected.number_of_edges()
+
+
+class TestCores:
+    def test_cycle_core_numbers(self):
+        assert core_numbers(cycle_graph(6)) == [2] * 6
+
+    def test_complete_graph(self):
+        assert core_numbers(complete_graph(5)) == [4] * 5
+        assert degeneracy(complete_graph(5)) == 4
+
+    def test_star(self):
+        cores = core_numbers(star_graph(4))
+        assert cores == [1, 1, 1, 1, 1]
+
+    def test_matches_networkx(self, karate):
+        expected = nx.core_number(nx.karate_club_graph())
+        assert core_numbers(karate) == [expected[v] for v in range(34)]
+
+    def test_k_core_subgraph(self, karate):
+        core, mapping = k_core(karate, 4)
+        expected = nx.k_core(nx.karate_club_graph(), 4)
+        assert core.num_nodes == expected.number_of_nodes()
+        assert core.num_edges == expected.number_of_edges()
+        # Every node keeps degree >= 4 inside the core.
+        assert all(core.degree(v) >= 4 for v in core.nodes())
+
+    def test_k_core_empty(self):
+        core, mapping = k_core(path_graph(5), 3)
+        assert core.num_nodes == 0
+        assert mapping == {}
+
+    def test_k_core_negative(self, karate):
+        with pytest.raises(ValueError):
+            k_core(karate, -1)
+
+    def test_degeneracy_empty(self):
+        assert degeneracy(Graph(0)) == 0
+        assert degeneracy(Graph(3, [])) == 0

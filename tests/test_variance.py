@@ -1,0 +1,71 @@
+"""Tests for the exact Lemma 5 variance analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.variance import lemma5_variances
+from repro.exact import exact_counts
+from repro.graphs.generators import lollipop_graph, powerlaw_cluster
+from repro.graphs.components import largest_connected_component
+
+
+@pytest.fixture(scope="module")
+def small_clustered():
+    graph = powerlaw_cluster(30, 2, 0.6, seed=5)
+    lcc, _ = largest_connected_component(graph)
+    return lcc
+
+
+class TestLemma5:
+    @pytest.mark.parametrize(
+        "k,d",
+        [(3, 1), (4, 2), (4, 1)],
+    )
+    def test_css_variance_never_larger(self, small_clustered, k, d):
+        """Lemma 5, verified exactly on every reachable graphlet type."""
+        reports = lemma5_variances(small_clustered, k, d)
+        assert reports  # at least one reachable type
+        for report in reports.values():
+            assert report.css_variance <= report.basic_variance + 1e-9
+
+    def test_both_functionals_unbiased(self, small_clustered):
+        """Shared mean == exact count (Eq. 4 / Eq. 7 again, via moments)."""
+        truth = exact_counts(small_clustered, 3)
+        reports = lemma5_variances(small_clustered, 3, 1)
+        for index, report in reports.items():
+            assert math.isclose(report.mean, truth[index], rel_tol=1e-9)
+
+    def test_variance_reduction_strict_on_irregular_graph(self):
+        """On a graph with unequal degrees CSS must strictly help for the
+        triangle (different corresponding states have different inclusion
+        probabilities — the §4.1 motivating example)."""
+        graph = lollipop_graph(4, 3)
+        reports = lemma5_variances(graph, 3, 1)
+        triangle = reports[1]
+        assert triangle.css_variance < triangle.basic_variance
+        assert 0 < triangle.variance_reduction <= 1
+
+    def test_figure1_graph_values(self, figure1_graph):
+        reports = lemma5_variances(figure1_graph, 3, 1)
+        truth = exact_counts(figure1_graph, 3)
+        # Two wedges, two triangles in the Figure 1 graph.
+        assert math.isclose(reports[0].mean, truth[0])
+        assert math.isclose(reports[1].mean, truth[1])
+
+    def test_d3_supported(self, figure1_graph):
+        reports = lemma5_variances(figure1_graph, 4, 3)
+        # l = 2: CSS coincides with basic, so variances are equal.
+        for report in reports.values():
+            assert math.isclose(
+                report.css_variance, report.basic_variance, rel_tol=1e-9
+            )
+
+    def test_variance_reduction_zero_division_guard(self, figure1_graph):
+        reports = lemma5_variances(figure1_graph, 4, 3)
+        for report in reports.values():
+            assert 0.0 <= report.variance_reduction <= 1.0 or math.isclose(
+                report.variance_reduction, 0.0, abs_tol=1e-9
+            )
