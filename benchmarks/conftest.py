@@ -1,7 +1,8 @@
 """Shared helpers for the benchmark harness.
 
 Each ``bench_*`` module regenerates one of the paper's tables or figures
-(see DESIGN.md §4): it computes the table once, prints it (run pytest with
+(see the benchmark ↔ paper map in README.md): it computes the table once,
+prints it (run pytest with
 ``-s`` to see the output), records headline numbers in
 ``benchmark.extra_info``, and asserts the *shape* claims the paper makes
 (who wins, roughly by how much) — absolute values differ because the

@@ -4,6 +4,9 @@ For 4-node graphlet estimation, sweeps the framework's knobs on one
 dataset and reports NRMSE for the rarest type (the 4-clique) together with
 the weighted-concentration explanation of Figure 5.
 
+The written version of this decision process — the ``SRW{d}[CSS][NB]``
+grammar and when to prefer each knob — is ``docs/METHODS.md``.
+
     python examples/method_selection.py
 """
 

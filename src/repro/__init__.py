@@ -16,8 +16,9 @@ Quickstart::
     print(result.concentration_dict())
     print(exact_concentrations(graph, 4))
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for the quickstart and the benchmark ↔ paper map,
+docs/ARCHITECTURE.md for the layer and backend design, and
+docs/METHODS.md for choosing among the ``SRW{d}[CSS][NB]`` methods.
 """
 
 from .baselines import (
@@ -58,9 +59,11 @@ from .exact import (
 )
 from .graphlets import Graphlet, graphlet_names, graphlets, num_graphlets
 from .graphs import (
+    CSRGraph,
     Graph,
     GraphError,
     RestrictedGraph,
+    as_backend,
     barabasi_albert,
     erdos_renyi,
     largest_connected_component,
@@ -75,6 +78,7 @@ from .relgraph import relationship_edge_count, relationship_graph, walk_space
 __version__ = "1.0.0"
 
 __all__ = [
+    "CSRGraph",
     "EstimationResult",
     "Graph",
     "GraphError",
@@ -84,6 +88,7 @@ __all__ = [
     "RestrictedGraph",
     "alpha_coefficient",
     "alpha_table",
+    "as_backend",
     "barabasi_albert",
     "convergence_sweep",
     "cosine_similarity",

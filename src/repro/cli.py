@@ -3,6 +3,7 @@
     python -m repro datasets
     python -m repro summarize --dataset facebook-like
     python -m repro estimate --dataset karate -k 4 --method SRW2CSS --steps 20000
+    python -m repro estimate --dataset karate -k 4 --backend csr --chains 16
     python -m repro exact --dataset karate -k 4
     python -m repro compare --dataset karate -k 3 --steps 5000 --trials 10
     python -m repro bound --dataset karate -k 3 -d 1 --graphlet triangle
@@ -71,17 +72,25 @@ def cmd_summarize(args) -> int:
 def cmd_estimate(args) -> int:
     graph = _resolve_graph(args)
     method = args.method or recommended_method(args.k)
-    estimator = GraphletEstimator(graph, k=args.k, method=method, seed=args.seed)
+    estimator = GraphletEstimator(
+        graph,
+        k=args.k,
+        method=method,
+        seed=args.seed,
+        backend=args.backend,
+        chains=args.chains,
+    )
     result = estimator.run(args.steps)
     rows = [
         [g.paper_id, g.name, float(result.concentrations[g.index])]
         for g in graphlets(args.k)
     ]
+    chain_note = f", {result.chains} chains" if result.chains > 1 else ""
     print(
         format_table(
             ["id", "graphlet", "concentration"],
             rows,
-            title=f"{method}, {args.steps} steps, "
+            title=f"{method}, {args.steps} steps{chain_note}, "
             f"{result.valid_samples} valid samples, "
             f"{result.elapsed_seconds:.2f}s",
         )
@@ -174,6 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default=None, help="SRW{d}[CSS][NB]; default: paper's pick")
     p.add_argument("--steps", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=("list", "csr"),
+        help="graph storage backend (csr enables vectorized multi-chain walks)",
+    )
+    p.add_argument(
+        "--chains",
+        type=int,
+        default=1,
+        help="independent walk chains to split the step budget over",
+    )
     p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser("exact", help="exact concentrations (ground truth)")

@@ -10,6 +10,19 @@ graphlet sample, and accumulates the re-weighted indicator sums
 
 from which both concentrations (S_i / sum_j S_j, Eq. 5/8) and counts
 (2|R(d)| * S_i / n, Eq. 4/7) follow.
+
+Multi-chain runs
+----------------
+``run_estimation(..., chains=B)`` splits the step budget across B
+independent chains and pools their sums — the independent-chain
+aggregation the paper uses for its empirical-variance experiments.  Each
+chain is an independent walk (per-chain seeds derived from the caller's
+RNG); since every S_i is a sum over samples, pooling is exact: the merged
+result is distributed like one run whose samples came from B chains.  On
+the CSR backend with d <= 2 the chains advance in lockstep through the
+vectorized :class:`~repro.walks.batched.BatchedWalkEngine`; on other
+backends they run serially.  ``chains=1`` (the default) is byte-for-byte
+the seed estimator.
 """
 
 from __future__ import annotations
@@ -17,13 +30,15 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphlets.catalog import classify_bitmask, graphlets
-from ..relgraph.spaces import walk_space
-from ..walks.walkers import make_walk
+from ..relgraph.spaces import WalkSpace, walk_space
+from ..walks.batched import batch_capable
+from ..walks.walkers import make_engine, make_walk
 from .alpha import alpha_table
 from .css import sampling_weight
 from .expanded_chain import nominal_degree
@@ -105,6 +120,7 @@ class EstimationResult:
     elapsed_seconds: float
     api_calls: Optional[int] = None
     unreachable: Tuple[int, ...] = field(default_factory=tuple)
+    chains: int = 1
 
     @property
     def concentrations(self) -> np.ndarray:
@@ -146,6 +162,7 @@ def run_estimation(
     rng: Optional[random.Random] = None,
     seed_node: int = 0,
     burn_in: int = 0,
+    chains: int = 1,
 ) -> EstimationResult:
     """Algorithm 1: estimate k-node graphlet statistics with ``steps``
     random-walk transitions.
@@ -153,19 +170,52 @@ def run_estimation(
     Parameters
     ----------
     graph:
-        A :class:`~repro.graphs.Graph` or
-        :class:`~repro.graphs.RestrictedGraph` (API calls are then counted
-        into the result).
+        A :class:`~repro.graphs.Graph`, :class:`~repro.graphs.CSRGraph`
+        or :class:`~repro.graphs.RestrictedGraph` (API calls are then
+        counted into the result).
     spec:
         Method specification (k, d, CSS/NB flags).
     steps:
-        Number of walk transitions n; every transition contributes one
-        window, valid or not, exactly as in Algorithm 1.
+        Total number of walk transitions n across all chains; every
+        transition contributes one window, valid or not, exactly as in
+        Algorithm 1.
     burn_in:
-        Optional transitions discarded before sampling starts (the paper
-        relies on SLLN asymptotics and uses none).
+        Optional transitions discarded before sampling starts, per chain
+        (the paper relies on SLLN asymptotics and uses none).
+    chains:
+        Number of independent chains the budget is split over.  With
+        ``chains=1`` the estimator is bit-identical to the seed serial
+        loop; with ``chains=B`` the pooled sums estimate the same
+        quantities (vectorized on the CSR backend for d <= 2).
     """
-    return _run_walk(graph, spec, [steps], rng, seed_node, burn_in)[-1]
+    if chains < 1:
+        raise ValueError(f"chains must be >= 1, got {chains}")
+    if chains == 1:
+        return _run_walk(graph, spec, [steps], rng, seed_node, burn_in)[-1]
+    return _run_multichain(graph, spec, steps, chains, rng, seed_node, burn_in)
+
+
+def _effective_degree_fn(
+    graph, space: WalkSpace, spec: MethodSpec
+) -> Callable[[Tuple[int, ...]], int]:
+    """The (possibly NB-nominal) G(d)-degree of a state, per backend-
+    agnostic closed forms for d <= 2 and the enumerating fallback above."""
+    d = spec.d
+    if d == 1:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return graph.degree(state[0])
+    elif d == 2:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return graph.degree(state[0]) + graph.degree(state[1]) - 2
+    else:
+        def state_degree(state: Tuple[int, ...]) -> int:
+            return space.degree(graph, state)
+
+    if spec.nb:
+        def effective_degree(state: Tuple[int, ...]) -> int:
+            return nominal_degree(state_degree(state))
+        return effective_degree
+    return state_degree
 
 
 def _run_walk(
@@ -192,22 +242,7 @@ def _run_walk(
     sums = np.zeros(num_types)
     sample_counts = np.zeros(num_types, dtype=np.int64)
 
-    cheap_degree = d <= 2
-    if d == 1:
-        def state_degree(state: Tuple[int, ...]) -> int:
-            return graph.degree(state[0])
-    elif d == 2:
-        def state_degree(state: Tuple[int, ...]) -> int:
-            return graph.degree(state[0]) + graph.degree(state[1]) - 2
-    else:
-        def state_degree(state: Tuple[int, ...]) -> int:
-            return space.degree(graph, state)
-
-    if spec.nb:
-        def effective_degree(state: Tuple[int, ...]) -> int:
-            return nominal_degree(state_degree(state))
-    else:
-        effective_degree = state_degree
+    effective_degree = _effective_degree_fn(graph, space, spec)
 
     start_time = time.perf_counter()
     for _ in range(burn_in):
@@ -294,3 +329,366 @@ def _run_walk(
             snapshots.append(snapshot(step_index + 1))
 
     return snapshots
+
+
+class _ChainAccumulator:
+    """Algorithm 1's window/classification pipeline for one chain.
+
+    Mirrors the accumulation of :func:`_run_walk` but is *fed* states one
+    at a time (``push``) instead of driving a walker itself, which lets
+    the multi-chain runner interleave B accumulators over the state blocks
+    of a :class:`~repro.walks.batched.BatchedWalkEngine`.
+
+    Feeding protocol: ``push(initial_state)`` once, then one ``push`` per
+    walk transition.  The first ``burn_in`` transitions are discarded,
+    the next ``l - 1`` fill the window (uncounted, like the serial loop's
+    window build), and every following transition processes the current
+    window *before* sliding — exactly the serial loop's order — until
+    ``budget`` counted transitions are consumed.
+    """
+
+    __slots__ = (
+        "graph",
+        "spec",
+        "alphas",
+        "effective_degree",
+        "sums",
+        "sample_counts",
+        "budget",
+        "burn_left",
+        "window",
+        "node_multiplicity",
+        "window_degrees",
+        "need_degrees",
+        "valid_samples",
+        "steps_done",
+        "_started",
+    )
+
+    def __init__(
+        self,
+        graph,
+        spec: MethodSpec,
+        alphas: Sequence[float],
+        effective_degree: Callable[[Tuple[int, ...]], int],
+        budget: int,
+        burn_in: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.alphas = alphas
+        self.effective_degree = effective_degree
+        self.sums = np.zeros(len(alphas))
+        self.sample_counts = np.zeros(len(alphas), dtype=np.int64)
+        self.budget = budget
+        self.burn_left = burn_in
+        self.window: List[Tuple[int, ...]] = []
+        self.node_multiplicity: Dict[int, int] = {}
+        self.window_degrees: List[int] = []
+        self.need_degrees = spec.l > 2
+        self.valid_samples = 0
+        self.steps_done = 0
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        return self.steps_done >= self.budget
+
+    def _admit(self, state: Tuple[int, ...]) -> None:
+        """Add a state to the window and its nodes to the multiset."""
+        self.window.append(state)
+        for v in state:
+            self.node_multiplicity[v] = self.node_multiplicity.get(v, 0) + 1
+        if self.need_degrees:
+            self.window_degrees.append(self.effective_degree(state))
+
+    def push(self, state: Tuple[int, ...]) -> None:
+        if self.done:
+            return
+        if not self._started:  # the chain's initial state, not a transition
+            self._started = True
+            self._admit(state)
+            return
+        if self.burn_left > 0:
+            # Discarded transition: restart the window from this state.
+            self.burn_left -= 1
+            self.window.clear()
+            self.node_multiplicity.clear()
+            self.window_degrees.clear()
+            self._admit(state)
+            return
+        if len(self.window) < self.spec.l:
+            self._admit(state)
+            return
+        self._process_window()
+        # Slide: drop the oldest state, admit the new one.
+        old_state = self.window.pop(0)
+        for v in old_state:
+            remaining = self.node_multiplicity[v] - 1
+            if remaining:
+                self.node_multiplicity[v] = remaining
+            else:
+                del self.node_multiplicity[v]
+        if self.need_degrees:
+            self.window_degrees.pop(0)
+        self._admit(state)
+        self.steps_done += 1
+
+    def _process_window(self) -> None:
+        """Classify and re-weight the current window (one Algorithm 1
+        iteration); windows covering != k distinct nodes are invalid."""
+        spec = self.spec
+        k, d = spec.k, spec.d
+        if len(self.node_multiplicity) != k:
+            return
+        nodes = sorted(self.node_multiplicity)
+        neighbor_set = self.graph.neighbor_set
+        mask = 0
+        bit = 0
+        for i in range(k):
+            u_adj = neighbor_set(nodes[i])
+            for j in range(i + 1, k):
+                if nodes[j] in u_adj:
+                    mask |= 1 << bit
+                bit += 1
+        type_index = classify_bitmask(mask, k)
+        if spec.css:
+            p_tilde = sampling_weight(mask, nodes, k, d, self.effective_degree)
+            weight = 1.0 / p_tilde
+        else:
+            weight = 1.0 / self.alphas[type_index]
+            for degree in self.window_degrees[1:-1]:
+                weight *= degree
+        self.sums[type_index] += weight
+        self.sample_counts[type_index] += 1
+        self.valid_samples += 1
+
+
+@lru_cache(maxsize=None)
+def _classify_table(k: int) -> np.ndarray:
+    """Graphlet index per labeled k-node bitmask (-1 for disconnected).
+
+    A dense array version of :func:`classify_bitmask` so batched window
+    classification is one fancy-indexing gather.  At most 2^C(k, 2)
+    entries (1024 for k = 5), built once per k.
+    """
+    size = 1 << (k * (k - 1) // 2)
+    table = np.full(size, -1, dtype=np.int64)
+    for mask in range(size):
+        try:
+            table[mask] = classify_bitmask(mask, k)
+        except KeyError:
+            pass
+    return table
+
+
+def _batched_python(
+    graph, spec: MethodSpec, alphas, budgets: List[int], engine, burn_in: int
+):
+    """Drain a batched engine through one Python accumulator per chain.
+
+    Used for CSS methods, whose per-sample weight (Algorithm 3's template
+    sum) is evaluated per window; the walk itself is still vectorized.
+    """
+    effective_degree = _effective_degree_fn(graph, walk_space(spec.d), spec)
+    accumulators = [
+        _ChainAccumulator(graph, spec, alphas, effective_degree, budget, burn_in)
+        for budget in budgets
+    ]
+    d = spec.d
+    initial = engine.states()
+    for b, acc in enumerate(accumulators):
+        state = (int(initial[b]),) if d == 1 else tuple(int(x) for x in initial[b])
+        acc.push(state)
+    # Each chain consumes burn_in discarded transitions, l - 1 window
+    # fills, then its counted budget — same accounting as _run_walk.
+    remaining = max(budgets) + burn_in + spec.l - 1
+    block_size = 1024
+    while remaining > 0 and not all(acc.done for acc in accumulators):
+        block = engine.step_block(min(block_size, remaining))
+        remaining -= block.shape[0]
+        if d == 1:
+            for b, acc in enumerate(accumulators):
+                if acc.done:
+                    continue
+                for value in block[:, b].tolist():
+                    acc.push((value,))
+        else:
+            for b, acc in enumerate(accumulators):
+                if acc.done:
+                    continue
+                for u, v in block[:, b].tolist():
+                    acc.push((u, v))
+    sums = np.zeros(len(alphas))
+    sample_counts = np.zeros(len(alphas), dtype=np.int64)
+    valid_samples = 0
+    for acc in accumulators:
+        if not acc.done:  # pragma: no cover - budget math guarantees done
+            raise RuntimeError("batched run ended before a chain's budget")
+        sums += acc.sums
+        sample_counts += acc.sample_counts
+        valid_samples += acc.valid_samples
+    return sums, sample_counts, valid_samples
+
+
+def _batched_vectorized(
+    graph, spec: MethodSpec, alphas, budgets: List[int], engine, burn_in: int
+):
+    """Aggregate all chains in one vectorized pass (basic estimator).
+
+    Every block of engine transitions is turned into ``t x B`` sliding
+    windows at once: node multisets are sorted row-wise to count distinct
+    nodes, valid windows classify through vectorized ``has_edges`` probes
+    plus the dense mask table, and the Theorem 2 re-weighting (1 / alpha_i
+    times the product of middle-state degrees) is a row product — no
+    Python-level per-window work at all.
+    """
+    k, d, l = spec.k, spec.d, spec.l
+    chains = len(budgets)
+    degs = graph.degrees_array
+    table = _classify_table(k)
+    alpha_arr = np.asarray(alphas, dtype=np.float64)
+    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    budgets_arr = np.asarray(budgets, dtype=np.int64)
+    num_types = len(alphas)
+    sums = np.zeros(num_types)
+    sample_counts = np.zeros(num_types, dtype=np.int64)
+    valid_samples = 0
+    need_degrees = l > 2
+
+    def as_stream(block: np.ndarray, steps: int) -> np.ndarray:
+        """Engine output -> (steps, B, d)."""
+        return block.reshape(steps, chains, d)
+
+    def state_degrees(stream: np.ndarray) -> np.ndarray:
+        if d == 1:
+            out = degs[stream[:, :, 0]]
+        else:
+            out = degs[stream[:, :, 0]] + degs[stream[:, :, 1]] - 2
+        if spec.nb:  # nominal degree d' = max(d - 1, 1), vectorized
+            out = np.maximum(out - 1, 1)
+        return out
+
+    discarded = burn_in
+    while discarded > 0:  # chunked so huge burn-ins don't allocate at once
+        engine.step_block(min(discarded, 4096))
+        discarded -= min(discarded, 4096)
+    # Stream = window-start state followed by every counted transition;
+    # prefill l - 2 transitions so each block of t transitions completes
+    # exactly t windows (l >= 2 always holds for d <= 2, k >= 3).
+    tail = as_stream(engine.states().copy(), 1)
+    if l > 2:
+        tail = np.concatenate([tail, as_stream(engine.step_block(l - 2), l - 2)])
+
+    max_budget = max(budgets)
+    windows_done = 0
+    block_size = 512
+    while windows_done < max_budget:
+        t = min(block_size, max_budget - windows_done)
+        stream = np.concatenate([tail, as_stream(engine.step_block(t), t)])
+        # (t, B, d, l): window w of chain b is stream[w : w + l, b].
+        windows = np.lib.stride_tricks.sliding_window_view(stream, l, axis=0)
+        nodes = windows.reshape(t * chains, d * l)
+        in_budget = (
+            windows_done + np.arange(t, dtype=np.int64)[:, None] < budgets_arr[None, :]
+        ).ravel()
+        if need_degrees:
+            deg_windows = np.lib.stride_tricks.sliding_window_view(
+                state_degrees(stream), l, axis=0
+            )
+            middle_product = deg_windows[:, :, 1:-1].prod(axis=2).ravel()
+        nodes = nodes[in_budget]
+        srt = np.sort(nodes, axis=1)
+        fresh = np.ones(srt.shape, dtype=bool)
+        fresh[:, 1:] = srt[:, 1:] != srt[:, :-1]
+        valid = fresh.sum(axis=1) == k
+        if np.any(valid):
+            uniq = srt[valid][fresh[valid]].reshape(-1, k)
+            bits = np.zeros(uniq.shape[0], dtype=np.int64)
+            for bit, (i, j) in enumerate(pairs):
+                bits |= graph.has_edges(uniq[:, i], uniq[:, j]).astype(np.int64) << bit
+            types = table[bits]
+            if np.any(types < 0):  # pragma: no cover - windows are connected
+                raise RuntimeError("sampled window classified as disconnected")
+            if need_degrees:
+                weights = middle_product[in_budget][valid] / alpha_arr[types]
+            else:
+                weights = 1.0 / alpha_arr[types]
+            sums += np.bincount(types, weights=weights, minlength=num_types)
+            sample_counts += np.bincount(types, minlength=num_types)
+            valid_samples += int(valid.sum())
+        windows_done += t
+        tail = stream[-(l - 1) :].copy()
+    return sums, sample_counts, valid_samples
+
+
+def _run_multichain(
+    graph,
+    spec: MethodSpec,
+    steps: int,
+    chains: int,
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+    burn_in: int = 0,
+) -> EstimationResult:
+    """Pooled estimation over ``chains`` independent walks.
+
+    The total budget is split as evenly as possible (the first
+    ``steps % chains`` chains take one extra transition).  On a CSR
+    backend with d <= 2 all chains advance in lockstep through the
+    vectorized engine — with fully vectorized window accumulation for the
+    basic estimator, per-chain Python accumulators for CSS; otherwise
+    each chain runs the serial loop with its own RNG seeded from ``rng``.
+    """
+    if steps < chains:
+        raise ValueError(
+            f"need at least one transition per chain: steps={steps} < chains={chains}"
+        )
+    rng = rng if rng is not None else random.Random()
+    budgets = [steps // chains + (1 if b < steps % chains else 0) for b in range(chains)]
+    k, d = spec.k, spec.d
+    alphas = alpha_table(k, d)
+    start_time = time.perf_counter()
+
+    if batch_capable(graph, d):
+        engine = make_engine(
+            graph,
+            walk_space(d),
+            chains,
+            non_backtracking=spec.nb,
+            rng=rng,
+            seed_node=seed_node,
+        )
+        accumulate = _batched_python if spec.css else _batched_vectorized
+        sums, sample_counts, valid_samples = accumulate(
+            graph, spec, alphas, budgets, engine, burn_in
+        )
+    else:
+        chain_results = [
+            _run_walk(
+                graph,
+                spec,
+                [budgets[b]],
+                random.Random(rng.randrange(2**63)),
+                seed_node,
+                burn_in,
+            )[-1]
+            for b in range(chains)
+        ]
+        sums = np.sum([r.sums for r in chain_results], axis=0)
+        sample_counts = np.sum([r.sample_counts for r in chain_results], axis=0)
+        valid_samples = sum(r.valid_samples for r in chain_results)
+
+    return EstimationResult(
+        k=k,
+        method=spec.name,
+        d=d,
+        steps=sum(budgets),
+        valid_samples=valid_samples,
+        sums=np.asarray(sums),
+        sample_counts=np.asarray(sample_counts),
+        elapsed_seconds=time.perf_counter() - start_time,
+        api_calls=getattr(graph, "api_calls", None),
+        unreachable=tuple(i for i, a in enumerate(alphas) if a == 0),
+        chains=chains,
+    )

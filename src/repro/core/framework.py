@@ -18,6 +18,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..graphlets.catalog import graphlets
+from ..graphs.csr import as_backend
 from ..relgraph.construct import relationship_edge_count
 from .estimator import EstimationResult, MethodSpec, run_estimation
 
@@ -45,6 +46,14 @@ class GraphletEstimator:
         RNG seed (None for nondeterministic).
     seed_node:
         Walk starting node (e.g. the crawl seed under restricted access).
+    backend:
+        Storage backend to run against: ``None`` keeps the graph as
+        passed; ``"list"`` / ``"csr"`` convert via
+        :func:`repro.graphs.as_backend` (CSR unlocks the vectorized
+        multi-chain kernels for d <= 2).
+    chains:
+        Number of independent walk chains the step budget is split over
+        (see :func:`repro.core.run_estimation`).
     """
 
     def __init__(
@@ -54,11 +63,14 @@ class GraphletEstimator:
         method: Optional[str] = None,
         seed: Optional[int] = None,
         seed_node: int = 0,
+        backend: Optional[str] = None,
+        chains: int = 1,
     ) -> None:
-        self.graph = graph
+        self.graph = graph if backend is None else as_backend(graph, backend)
         self.spec = MethodSpec.parse(method or recommended_method(k), k)
         self.rng = random.Random(seed)
         self.seed_node = seed_node
+        self.chains = chains
         self.last_result: Optional[EstimationResult] = None
 
     @property
@@ -67,7 +79,7 @@ class GraphletEstimator:
         return self.spec.name
 
     def run(self, steps: int, burn_in: int = 0) -> EstimationResult:
-        """Run the walk for ``steps`` transitions and estimate."""
+        """Run the walk(s) for ``steps`` total transitions and estimate."""
         result = run_estimation(
             self.graph,
             self.spec,
@@ -75,6 +87,7 @@ class GraphletEstimator:
             rng=self.rng,
             seed_node=self.seed_node,
             burn_in=burn_in,
+            chains=self.chains,
         )
         self.last_result = result
         return result
@@ -88,9 +101,14 @@ def estimate_concentration(
     seed: Optional[int] = None,
     seed_node: int = 0,
     burn_in: int = 0,
+    backend: Optional[str] = None,
+    chains: int = 1,
 ) -> Dict[str, float]:
     """One-shot concentration estimate, keyed by graphlet name."""
-    estimator = GraphletEstimator(graph, k, method=method, seed=seed, seed_node=seed_node)
+    estimator = GraphletEstimator(
+        graph, k, method=method, seed=seed, seed_node=seed_node,
+        backend=backend, chains=chains,
+    )
     return estimator.run(steps, burn_in=burn_in).concentration_dict()
 
 
@@ -103,6 +121,8 @@ def estimate_counts(
     seed_node: int = 0,
     relationship_edges: Optional[int] = None,
     burn_in: int = 0,
+    backend: Optional[str] = None,
+    chains: int = 1,
 ) -> Dict[str, float]:
     """One-shot absolute-count estimate (Eq. 4 / Eq. 7).
 
@@ -111,7 +131,10 @@ def estimate_counts(
     ``relationship_edges`` explicitly under restricted access if a separate
     estimate of it is available.
     """
-    estimator = GraphletEstimator(graph, k, method=method, seed=seed, seed_node=seed_node)
+    estimator = GraphletEstimator(
+        graph, k, method=method, seed=seed, seed_node=seed_node,
+        backend=backend, chains=chains,
+    )
     result = estimator.run(steps, burn_in=burn_in)
     if relationship_edges is None:
         base = getattr(graph, "_graph", graph)  # unwrap RestrictedGraph

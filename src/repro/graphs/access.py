@@ -84,9 +84,9 @@ class RestrictedGraph:
     def random_neighbor(self, v: int, rng: random.Random) -> int:
         """Uniformly random neighbor of ``v``."""
         neighbors = self.neighbors(v)
-        if not neighbors:
+        if not len(neighbors):
             raise ValueError(f"node {v} has no neighbors")
-        return neighbors[rng.randrange(len(neighbors))]
+        return int(neighbors[rng.randrange(len(neighbors))])
 
     def has_edge(self, u: int, v: int) -> bool:
         """Adjacency test via the fetched neighbor list of ``u`` or ``v``.

@@ -15,6 +15,7 @@ this reproduction targets (up to a few million edges).
 
 from __future__ import annotations
 
+import numbers
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 Edge = Tuple[int, int]
@@ -22,6 +23,24 @@ Edge = Tuple[int, int]
 
 class GraphError(ValueError):
     """Raised for structurally invalid graph operations or inputs."""
+
+
+def _coerce_node_id(node, edge) -> int:
+    """Validate one endpoint of an edge and return it as a plain ``int``.
+
+    Anything that is not an integer (floats, strings, ``None``, ...) — or
+    is a ``bool``, which would silently alias node 0/1 — raises
+    :class:`GraphError` *here*, with the offending edge in the message,
+    instead of surfacing later as an opaque ``TypeError`` inside
+    ``sorted()`` or a set operation.  NumPy integer scalars are accepted
+    and normalized to native ``int`` so adjacency storage stays uniform.
+    """
+    if isinstance(node, bool) or not isinstance(node, numbers.Integral):
+        raise GraphError(
+            f"node ids must be integers, got {node!r} "
+            f"({type(node).__name__}) in edge {edge!r}"
+        )
+    return int(node)
 
 
 class Graph:
@@ -46,6 +65,8 @@ class Graph:
         adj_sets: List[Set[int]] = [set() for _ in range(num_nodes)]
         num_edges = 0
         for u, v in edges:
+            if type(u) is not int or type(v) is not int:
+                u, v = _coerce_node_id(u, (u, v)), _coerce_node_id(v, (u, v))
             if u == v:
                 raise GraphError(f"self-loop ({u}, {v}) not allowed in a simple graph")
             if not (0 <= u < num_nodes and 0 <= v < num_nodes):
@@ -69,7 +90,10 @@ class Graph:
 
         If ``num_nodes`` is omitted it is inferred as ``max node id + 1``.
         """
-        edge_list = [(int(u), int(v)) for u, v in edges]
+        edge_list = [
+            (_coerce_node_id(u, (u, v)), _coerce_node_id(v, (u, v)))
+            for u, v in edges
+        ]
         if num_nodes is None:
             num_nodes = 1 + max((max(u, v) for u, v in edge_list), default=-1)
         return cls(num_nodes, edge_list)

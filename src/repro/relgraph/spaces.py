@@ -16,9 +16,15 @@ regimes the paper distinguishes:
   (Table 6 reproduces this).
 
 States are represented as sorted node tuples for every d (including d = 1),
-so the estimator layer is uniform.  Spaces work against both
-:class:`repro.graphs.Graph` and :class:`repro.graphs.RestrictedGraph` — the
-only operations used are ``neighbors``, ``neighbor_set`` and ``degree``.
+so the estimator layer is uniform.  Spaces work against any graph backend
+— :class:`repro.graphs.Graph`, :class:`repro.graphs.CSRGraph` and
+:class:`repro.graphs.RestrictedGraph` — the only operations used are
+``neighbors``, ``neighbor_set`` and ``degree``.  Sampled node ids are
+normalized to native ``int`` before entering a state tuple, so downstream
+dict/set bookkeeping behaves identically whether a backend hands back
+Python lists or NumPy rows; because every backend keeps rows sorted, a
+fixed-seed walk visits the same states on either backend (for d <= 2,
+where neighbor draws are pure index picks).
 """
 
 from __future__ import annotations
@@ -77,16 +83,16 @@ class NodeSpace(WalkSpace):
     d = 1
 
     def initial_state(self, graph, rng: random.Random, seed_node: int = 0) -> State:
-        if not graph.neighbors(seed_node):
+        if not len(graph.neighbors(seed_node)):
             raise WalkSpaceError(f"seed node {seed_node} is isolated")
         return (seed_node,)
 
     def random_neighbor(self, graph, state: State, rng: random.Random) -> State:
         neighbors = graph.neighbors(state[0])
-        return (neighbors[rng.randrange(len(neighbors))],)
+        return (int(neighbors[rng.randrange(len(neighbors))]),)
 
     def neighbors(self, graph, state: State) -> List[State]:
-        return [(v,) for v in graph.neighbors(state[0])]
+        return [(int(v),) for v in graph.neighbors(state[0])]
 
     def degree(self, graph, state: State) -> int:
         return graph.degree(state[0])
@@ -103,9 +109,9 @@ class EdgeSpace(WalkSpace):
 
     def initial_state(self, graph, rng: random.Random, seed_node: int = 0) -> State:
         neighbors = graph.neighbors(seed_node)
-        if not neighbors:
+        if not len(neighbors):
             raise WalkSpaceError(f"seed node {seed_node} is isolated")
-        v = neighbors[rng.randrange(len(neighbors))]
+        v = int(neighbors[rng.randrange(len(neighbors))])
         return (seed_node, v) if seed_node < v else (v, seed_node)
 
     def random_neighbor(self, graph, state: State, rng: random.Random) -> State:
@@ -123,7 +129,7 @@ class EdgeSpace(WalkSpace):
             else:
                 anchor, other = v, u
             neighbors = graph.neighbors(anchor)
-            w = neighbors[rng.randrange(len(neighbors))]
+            w = int(neighbors[rng.randrange(len(neighbors))])
             if w != other:
                 return (anchor, w) if anchor < w else (w, anchor)
 
@@ -131,9 +137,11 @@ class EdgeSpace(WalkSpace):
         u, v = state
         result: List[State] = []
         for w in graph.neighbors(u):
+            w = int(w)
             if w != v:
                 result.append((u, w) if u < w else (w, u))
         for w in graph.neighbors(v):
+            w = int(w)
             if w != u:
                 result.append((v, w) if v < w else (w, v))
         return result
@@ -174,7 +182,7 @@ class SubgraphSpace(WalkSpace):
                     f"cannot grow a connected {self.d}-node subgraph from seed "
                     f"{seed_node}"
                 )
-            w = frontier[rng.randrange(len(frontier))]
+            w = int(frontier[rng.randrange(len(frontier))])
             nodes.append(w)
             node_set.add(w)
         return tuple(sorted(nodes))

@@ -1,6 +1,13 @@
-"""Random walks: SRW / NB-SRW on G(d), MHRW, mixing-time tools."""
+"""Random walks: SRW / NB-SRW on G(d), MHRW, batched multi-chain kernels,
+mixing-time tools."""
 
-from .mhrw import MetropolisHastingsWalk, uniform_weight, wedge_weight
+from .batched import BatchedWalkEngine, batch_capable
+from .mhrw import (
+    BatchedMetropolisHastingsWalk,
+    MetropolisHastingsWalk,
+    uniform_weight,
+    wedge_weight,
+)
 from .mixing import (
     effective_sample_size,
     mixing_time_exact,
@@ -11,13 +18,17 @@ from .mixing import (
     total_variation,
     transition_matrix,
 )
-from .walkers import NonBacktrackingWalk, SimpleWalk, make_walk
+from .walkers import NonBacktrackingWalk, SimpleWalk, make_engine, make_walk
 
 __all__ = [
+    "BatchedMetropolisHastingsWalk",
+    "BatchedWalkEngine",
     "MetropolisHastingsWalk",
     "NonBacktrackingWalk",
     "SimpleWalk",
+    "batch_capable",
     "effective_sample_size",
+    "make_engine",
     "make_walk",
     "mixing_time_exact",
     "mixing_time_spectral",

@@ -30,7 +30,7 @@ def transition_matrix(graph: Graph) -> np.ndarray:
     matrix = np.zeros((n, n))
     for v in graph.nodes():
         neighbors = graph.neighbors(v)
-        if not neighbors:
+        if not len(neighbors):
             raise ValueError(f"node {v} is isolated; SRW undefined")
         p = 1.0 / len(neighbors)
         for w in neighbors:

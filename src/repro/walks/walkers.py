@@ -7,16 +7,28 @@ only neighbor (degree-1 states), which preserves the edge-uniform stationary
 distribution while reducing "invalid" samples.
 
 Both walkers operate on a :class:`repro.relgraph.WalkSpace`, so the same
-code drives walks on G, G(2), and G(d >= 3), against either a fully loaded
-:class:`~repro.graphs.Graph` or a :class:`~repro.graphs.RestrictedGraph`.
+code drives walks on G, G(2), and G(d >= 3), against any graph backend —
+:class:`~repro.graphs.Graph`, :class:`~repro.graphs.CSRGraph`, or a
+:class:`~repro.graphs.RestrictedGraph`.
+
+Transition kernels dispatch on the backend: :func:`make_walk` always
+returns a serial one-chain walker (identical RNG consumption on every
+backend, so fixed-seed results are backend-independent for d <= 2), while
+:func:`make_engine` upgrades to the vectorized
+:class:`~repro.walks.batched.BatchedWalkEngine` whenever the substrate is
+CSR and the space is d <= 2 — falling back to a list of independent serial
+walkers otherwise.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
 
 from ..relgraph.spaces import State, WalkSpace
+from .batched import BatchedWalkEngine, batch_capable
 
 
 class SimpleWalk:
@@ -110,3 +122,42 @@ def make_walk(
     """Factory for the walker matching a method's NB flag."""
     cls = NonBacktrackingWalk if non_backtracking else SimpleWalk
     return cls(graph, space, rng, seed_node)
+
+
+def make_engine(
+    graph,
+    space: WalkSpace,
+    chains: int,
+    non_backtracking: bool = False,
+    rng: Optional[random.Random] = None,
+    seed_node: int = 0,
+) -> Union[BatchedWalkEngine, List[SimpleWalk]]:
+    """Backend-dispatching multi-chain factory.
+
+    Returns a :class:`~repro.walks.batched.BatchedWalkEngine` when the
+    backend supports vectorized kernels on G(d) (CSR substrate, d <= 2),
+    otherwise a list of ``chains`` independent serial walkers, each with
+    its own :class:`random.Random` seeded from ``rng`` — so multi-chain
+    estimation works on every backend and merely goes faster on CSR.
+    """
+    rng = rng if rng is not None else random.Random()
+    if batch_capable(graph, space.d):
+        np_rng = np.random.default_rng(rng.randrange(2**63))
+        return BatchedWalkEngine(
+            graph,
+            space.d,
+            chains,
+            np_rng,
+            seed_node=seed_node,
+            non_backtracking=non_backtracking,
+        )
+    return [
+        make_walk(
+            graph,
+            space,
+            non_backtracking=non_backtracking,
+            rng=random.Random(rng.randrange(2**63)),
+            seed_node=seed_node,
+        )
+        for _ in range(chains)
+    ]

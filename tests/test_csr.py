@@ -1,0 +1,348 @@
+"""CSR backend: structural parity with Graph, estimation parity, and the
+batched multi-chain walk engine."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MethodSpec, run_estimation
+from repro.exact import exact_concentrations
+from repro.graphs import (
+    CSRGraph,
+    Graph,
+    GraphError,
+    as_backend,
+    barabasi_albert,
+    load_dataset,
+)
+from repro.relgraph.spaces import walk_space
+from repro.walks import (
+    BatchedMetropolisHastingsWalk,
+    BatchedWalkEngine,
+    batch_capable,
+    make_engine,
+    make_walk,
+)
+
+
+def random_graphs():
+    """Hypothesis strategy: small random Graph instances."""
+    return (
+        st.integers(min_value=2, max_value=14)
+        .flatmap(
+            lambda n: st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda e: e[0] != e[1]
+                ),
+                max_size=3 * n,
+            ).map(lambda edges: Graph(n, edges))
+        )
+    )
+
+
+def truth_array(graph, k):
+    exact = exact_concentrations(graph, k)
+    return np.array([exact[i] for i in sorted(exact)])
+
+
+class TestStructuralParity:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_accessors_match(self, g):
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_nodes == g.num_nodes
+        assert csr.num_edges == g.num_edges
+        assert csr.degrees() == g.degrees()
+        assert csr.max_degree() == g.max_degree()
+        assert list(csr.edges()) == list(g.edges())
+        assert csr.edge_relationship_count() == g.edge_relationship_count()
+        for v in g.nodes():
+            assert list(csr.neighbors(v)) == g.neighbors(v)
+            assert csr.degree(v) == g.degree(v)
+            assert csr.neighbor_set(v) == g.neighbor_set(v)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_has_edge_matches(self, g):
+        csr = CSRGraph.from_graph(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert csr.has_edge(u, v) == g.has_edge(u, v)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs())
+    def test_has_edges_vectorized(self, g):
+        csr = CSRGraph.from_graph(g)
+        n = g.num_nodes
+        us = np.repeat(np.arange(n), n)
+        vs = np.tile(np.arange(n), n)
+        expected = np.array([g.has_edge(int(u), int(v)) for u, v in zip(us, vs)])
+        assert np.array_equal(csr.has_edges(us, vs), expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs())
+    def test_from_edges_equals_from_graph(self, g):
+        via_graph = CSRGraph.from_graph(g)
+        via_edges = CSRGraph.from_edges(g.edges(), num_nodes=g.num_nodes)
+        assert via_graph == via_edges
+
+    def test_from_edges_dedup_and_validation(self):
+        csr = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert csr.num_edges == 2
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(0, 0)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(0, 5)], num_nodes=2)
+
+    def test_round_trip_and_derived(self):
+        g = load_dataset("karate")
+        csr = CSRGraph.from_graph(g)
+        assert csr.to_graph() == g
+        nodes = [0, 1, 2, 3]
+        assert csr.induced_edges(nodes) == g.induced_edges(nodes)
+        assert csr.induced_edge_count(nodes) == g.induced_edge_count(nodes)
+        assert csr.is_connected_subset(nodes) == g.is_connected_subset(nodes)
+
+    def test_as_backend(self):
+        g = load_dataset("karate")
+        csr = as_backend(g, "csr")
+        assert isinstance(csr, CSRGraph)
+        assert as_backend(csr, "csr") is csr
+        assert as_backend(g, "list") is g
+        assert as_backend(csr, "list") == g
+        with pytest.raises(ValueError):
+            as_backend(g, "sparse")
+
+    def test_mixing_tools_accept_csr(self, karate):
+        # Regression: transition_matrix used `if not neighbors:` which is
+        # ambiguous on NumPy rows.
+        from repro.walks import transition_matrix
+
+        csr = CSRGraph.from_graph(karate)
+        assert np.allclose(transition_matrix(csr), transition_matrix(karate))
+
+    def test_restricted_graph_conversion_rejected(self, karate):
+        from repro.graphs import RestrictedGraph
+
+        with pytest.raises(GraphError, match="full adjacency access"):
+            as_backend(RestrictedGraph(karate), "csr")
+
+    def test_empty_and_isolated(self):
+        empty = CSRGraph.from_graph(Graph(0))
+        assert empty.num_nodes == 0 and empty.num_edges == 0
+        iso = CSRGraph.from_graph(Graph(3, [(0, 1)]))
+        assert iso.degree(2) == 0
+        assert list(iso.neighbors(2)) == []
+
+
+class TestEstimationParity:
+    """A fixed seed visits the same states on both backends for d <= 2,
+    so single-chain results are bit-identical."""
+
+    @pytest.mark.parametrize(
+        "method,k",
+        [("SRW1", 3), ("SRW1CSSNB", 3), ("SRW2", 4), ("SRW2CSS", 4), ("SRW2NB", 4)],
+    )
+    def test_single_chain_matches_list_backend(self, karate, method, k):
+        csr = CSRGraph.from_graph(karate)
+        spec = MethodSpec.parse(method, k)
+        r_list = run_estimation(karate, spec, 2000, rng=random.Random(9), seed_node=3)
+        r_csr = run_estimation(csr, spec, 2000, rng=random.Random(9), seed_node=3)
+        assert r_list.valid_samples == r_csr.valid_samples
+        assert np.array_equal(r_list.sums, r_csr.sums)
+        assert np.array_equal(r_list.sample_counts, r_csr.sample_counts)
+
+    def test_walk_trajectory_matches(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        for d in (1, 2):
+            space = walk_space(d)
+            w1 = make_walk(karate, space, rng=random.Random(5), seed_node=2)
+            w2 = make_walk(csr, space, rng=random.Random(5), seed_node=2)
+            for _ in range(500):
+                assert w1.step() == w2.step()
+
+
+class TestMultiChain:
+    def test_batched_concentrations_converge(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        truth = truth_array(karate, 4)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        result = run_estimation(csr, spec, 60_000, rng=random.Random(1), chains=8)
+        assert result.chains == 8
+        assert result.steps == 60_000
+        assert np.abs(result.concentrations - truth).max() < 0.05
+
+    def test_batched_nb_converges(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        truth = truth_array(karate, 3)
+        spec = MethodSpec.parse("SRW1CSSNB", 3)
+        result = run_estimation(csr, spec, 60_000, rng=random.Random(2), chains=16)
+        assert np.abs(result.concentrations - truth).max() < 0.05
+
+    def test_serial_fallback_on_list_backend(self, karate):
+        truth = truth_array(karate, 4)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        result = run_estimation(karate, spec, 20_000, rng=random.Random(3), chains=4)
+        assert result.chains == 4
+        assert result.steps == 20_000
+        assert np.abs(result.concentrations - truth).max() < 0.07
+
+    def test_serial_fallback_for_d3(self, karate):
+        # d >= 3 has no batched kernel: multichain must fall back even on CSR.
+        csr = CSRGraph.from_graph(karate)
+        assert not batch_capable(csr, 3)
+        spec = MethodSpec.parse("SRW3", 4)
+        result = run_estimation(csr, spec, 4_000, rng=random.Random(4), chains=4)
+        assert result.chains == 4 and result.steps == 4_000
+
+    def test_uneven_split_and_burn_in(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        result = run_estimation(
+            csr, spec, 10_007, rng=random.Random(5), chains=3, burn_in=11
+        )
+        assert result.steps == 10_007
+
+    def test_multichain_is_deterministic(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        r1 = run_estimation(csr, spec, 6_000, rng=random.Random(6), chains=4)
+        r2 = run_estimation(csr, spec, 6_000, rng=random.Random(6), chains=4)
+        assert np.array_equal(r1.sums, r2.sums)
+
+    @pytest.mark.parametrize(
+        "method,k,burn_in",
+        [
+            ("SRW2", 4, 0),
+            ("SRW1", 3, 5),
+            ("SRW2NB", 4, 0),
+            ("SRW1NB", 4, 3),
+            ("SRW2", 5, 0),
+        ],
+    )
+    def test_vectorized_accumulation_matches_python(self, karate, method, k, burn_in):
+        """The one-pass vectorized window pipeline (basic estimator) must
+        process exactly the windows the per-chain Python accumulators do."""
+        from repro.core.alpha import alpha_table
+        from repro.core.estimator import _batched_python, _batched_vectorized
+
+        csr = CSRGraph.from_graph(karate)
+        spec = MethodSpec.parse(method, k)
+        alphas = alpha_table(spec.k, spec.d)
+        budgets = [701, 700, 700, 699]
+        engines = [
+            BatchedWalkEngine(
+                csr, spec.d, 4, np.random.default_rng(11), non_backtracking=spec.nb
+            )
+            for _ in range(2)
+        ]
+        s1, c1, v1 = _batched_python(csr, spec, alphas, budgets, engines[0], burn_in)
+        s2, c2, v2 = _batched_vectorized(csr, spec, alphas, budgets, engines[1], burn_in)
+        assert np.array_equal(c1, c2)
+        assert v1 == v2
+        assert np.allclose(s1, s2, rtol=1e-9)
+
+    def test_chain_validation(self, karate):
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        with pytest.raises(ValueError):
+            run_estimation(karate, spec, 100, chains=0)
+        with pytest.raises(ValueError):
+            run_estimation(karate, spec, 3, chains=5)
+
+
+class TestBatchedEngine:
+    def test_d1_stationary_is_degree_proportional(self):
+        g = barabasi_albert(300, 3, seed=0)
+        csr = CSRGraph.from_graph(g)
+        engine = BatchedWalkEngine(csr, 1, 32, np.random.default_rng(0))
+        counts = np.zeros(g.num_nodes)
+        for _ in range(400):
+            block = engine.step_block(16)
+            np.add.at(counts, block.ravel(), 1)
+        degs = np.asarray(g.degrees(), dtype=float)
+        empirical = counts / counts.sum()
+        expected = degs / degs.sum()
+        # Loose L1 bound: enough steps that the SRW is near-stationary.
+        assert np.abs(empirical - expected).sum() < 0.15
+
+    def test_d2_states_are_edges(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        engine = BatchedWalkEngine(csr, 2, 16, np.random.default_rng(1))
+        block = engine.step_block(50)
+        flat = block.reshape(-1, 2)
+        assert (flat[:, 0] < flat[:, 1]).all()
+        assert csr.has_edges(flat[:, 0], flat[:, 1]).all()
+
+    def test_nb_never_backtracks_on_degree2plus(self):
+        # On a cycle every node has degree 2, so NB must never backtrack.
+        from repro.graphs import cycle_graph
+
+        csr = CSRGraph.from_graph(cycle_graph(20))
+        engine = BatchedWalkEngine(
+            csr, 1, 8, np.random.default_rng(2), non_backtracking=True
+        )
+        prev = engine.states().copy()
+        cur = engine.step().copy()
+        for _ in range(200):
+            nxt = engine.step().copy()
+            assert not np.any(nxt == prev)
+            prev, cur = cur, nxt
+
+    def test_nb_forced_backtrack_on_leaf(self):
+        # Star leaves have degree 1: from a leaf the walk must return to
+        # the hub every time.
+        from repro.graphs import star_graph
+
+        csr = CSRGraph.from_graph(star_graph(6))
+        engine = BatchedWalkEngine(
+            csr, 1, 4, np.random.default_rng(3), non_backtracking=True
+        )
+        for _ in range(50):
+            states = engine.step()
+            assert np.all((states == 0) | (engine._prev == 0))
+
+    def test_validation(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        with pytest.raises(TypeError):
+            BatchedWalkEngine(karate, 1, 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            BatchedWalkEngine(csr, 3, 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            BatchedWalkEngine(csr, 1, 0, np.random.default_rng(0))
+        iso = CSRGraph.from_graph(Graph(3, [(0, 1)]))
+        with pytest.raises(ValueError):
+            BatchedWalkEngine(iso, 1, 2, np.random.default_rng(0), seed_node=2)
+
+    def test_make_engine_dispatch(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        space = walk_space(2)
+        engine = make_engine(csr, space, chains=4, rng=random.Random(0))
+        assert isinstance(engine, BatchedWalkEngine)
+        walkers = make_engine(karate, space, chains=4, rng=random.Random(0))
+        assert isinstance(walkers, list) and len(walkers) == 4
+
+
+class TestBatchedMHRW:
+    def test_uniform_target_visits_all(self, karate):
+        csr = CSRGraph.from_graph(karate)
+        from repro.walks import uniform_weight
+
+        walk = BatchedMetropolisHastingsWalk(
+            csr, weight=uniform_weight, rng=np.random.default_rng(0), chains=16
+        )
+        counts = np.zeros(karate.num_nodes)
+        for states in walk.walk(400):
+            np.add.at(counts, states, 1)
+        # Uniform stationary distribution: no node should dominate the way
+        # it would under the raw SRW (hub 33 has degree 17 of 34 nodes).
+        assert counts.min() > 0
+        assert 0 < walk.acceptance_rate < 1
+
+    def test_requires_csr(self, karate):
+        with pytest.raises(TypeError):
+            BatchedMetropolisHastingsWalk(karate)

@@ -58,6 +58,32 @@ class TestConstruction:
         with pytest.raises(GraphError):
             Graph(-1)
 
+    @pytest.mark.parametrize(
+        "bad_edge",
+        [("a", 1), (0, "b"), (0.5, 1), (0, 1.0), (None, 1), (0, [1]), (True, 2)],
+    )
+    def test_non_int_node_ids_rejected(self, bad_edge):
+        # Regression: these used to surface later as opaque TypeErrors
+        # inside sorted()/set operations; now the constructor names the
+        # offending edge.  bool is rejected too — it would silently alias
+        # node 0/1.
+        with pytest.raises(GraphError, match="node ids must be integers"):
+            Graph(3, [(0, 1), bad_edge])
+
+    def test_from_edges_rejects_non_int_node_ids(self):
+        # Regression: from_edges used int() pre-coercion, silently
+        # truncating (0.5, 1) to edge (0, 1) instead of erroring.
+        with pytest.raises(GraphError, match="node ids must be integers"):
+            Graph.from_edges([(0.5, 1), (1, 2)])
+        with pytest.raises(GraphError, match="node ids must be integers"):
+            Graph.from_edges([(True, 2)])
+
+    def test_numpy_integer_node_ids_normalized(self):
+        np = pytest.importorskip("numpy")
+        g = Graph(3, [(np.int64(0), np.int32(1)), (1, 2)])
+        assert g.num_edges == 2
+        assert all(type(v) is int for v in g.neighbors(1))
+
     def test_from_edges_infers_size(self):
         g = Graph.from_edges([(0, 3), (3, 5)])
         assert g.num_nodes == 6
