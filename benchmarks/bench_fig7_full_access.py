@@ -93,7 +93,7 @@ def test_fig7b_clique_counts_vs_path_sampling(benchmark):
         r2 = relationship_edge_count(graph, 2)
 
         path_estimates = [
-            float(path_sampling(graph, BASELINE_SAMPLES, seed=10 + t).counts[clique])
+            path_sampling(graph, BASELINE_SAMPLES, seed=10 + t).count_dict()["clique"]
             for t in range(TRIALS)
         ]
         walk_estimates = []
@@ -113,4 +113,4 @@ def test_fig7b_clique_counts_vs_path_sampling(benchmark):
         k: (round(a, 4), round(b, 4)) for k, v in outcome.items() for a, b in [v]
     }
     graph = load_dataset("brightkite-like")
-    benchmark(lambda: path_sampling(graph, 5_000, seed=3).counts)
+    benchmark(lambda: path_sampling(graph, 5_000, seed=3).count_dict())

@@ -1,20 +1,16 @@
 """Quickstart: estimate graphlet concentrations with the SRW(d) framework.
 
-Runs the paper's recommended methods on a small social graph and compares
-against exact enumeration.
+Runs the paper's recommended methods on a small social graph through the
+unified estimator API (``repro.estimate``) and compares against the
+exact oracle — which is just another registered method.
 
     python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    GraphletEstimator,
-    exact_concentrations,
-    graphlets,
-    load_dataset,
-    recommended_method,
-)
+import repro
+from repro import graphlets, load_dataset, recommended_method
 from repro.evaluation import format_table
 
 
@@ -24,9 +20,8 @@ def main() -> None:
 
     for k in (3, 4, 5):
         method = recommended_method(k)
-        estimator = GraphletEstimator(graph, k=k, method=method, seed=42)
-        result = estimator.run(steps=20_000)
-        truth = exact_concentrations(graph, k)
+        result = repro.estimate(graph, method, k=k, budget=20_000, seed=42)
+        truth = repro.estimate(graph, "exact", k=k).concentrations
 
         rows = []
         estimates = result.concentrations
@@ -37,19 +32,19 @@ def main() -> None:
                 [
                     g.paper_id,
                     g.name,
-                    truth[g.index],
+                    float(truth[g.index]),
                     float(estimates[g.index]),
                 ]
             )
         print(
             format_table(
-                ["id", "graphlet", "exact", method],
+                ["id", "graphlet", "exact", result.method],
                 rows,
                 title=f"k={k} graphlet concentration (20K walk steps)",
             )
         )
         print(
-            f"valid samples: {result.valid_samples}/{result.steps}, "
+            f"valid samples: {result.samples}/{result.steps}, "
             f"elapsed: {result.elapsed_seconds:.2f}s\n"
         )
 

@@ -8,13 +8,19 @@ A from-scratch reproduction of
 
 Quickstart::
 
-    from repro import load_dataset, GraphletEstimator, exact_concentrations
+    from repro import estimate, exact_concentrations, load_dataset
 
     graph = load_dataset("facebook-like")
-    estimator = GraphletEstimator(graph, k=4, method="SRW2CSS", seed=7)
-    result = estimator.run(steps=20_000)
+    result = estimate(graph, "srw2css", k=4, budget=20_000, seed=7)
     print(result.concentration_dict())
     print(exact_concentrations(graph, 4))
+
+Every method — the paper's ``SRW{d}[CSS][NB]`` framework, the baselines,
+and exact enumeration — is reachable by name through
+:mod:`repro.estimators` (``register`` / ``get`` / ``available``) and
+returns the same :class:`Estimate`; ``get(name).prepare(graph, config)``
+opens a streaming session (``step`` / ``snapshot`` / ``result``) for
+anytime partial results.
 
 See README.md for the quickstart and the benchmark ↔ paper map,
 docs/ARCHITECTURE.md for the layer and backend design, and
@@ -31,18 +37,25 @@ from .baselines import (
     wedge_sampling,
 )
 from .core import (
-    EstimationResult,
+    Estimate,
+    EstimationConfig,
+    Estimator,
     GraphletEstimator,
     MethodSpec,
+    Session,
     alpha_coefficient,
     alpha_table,
+    deprecated_result_alias as _deprecated_result_alias,
     estimate_concentration,
     estimate_counts,
     recommended_method,
     run_estimation,
+    run_with_checkpoints,
     sample_size_bound,
     weighted_concentration,
 )
+from . import estimators
+from .estimators import estimate
 from .evaluation import (
     convergence_sweep,
     cosine_similarity,
@@ -79,13 +92,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CSRGraph",
-    "EstimationResult",
+    "Estimate",
+    "EstimationConfig",
+    "Estimator",
     "Graph",
     "GraphError",
     "Graphlet",
     "GraphletEstimator",
     "MethodSpec",
     "RestrictedGraph",
+    "Session",
     "alpha_coefficient",
     "alpha_table",
     "as_backend",
@@ -93,8 +109,10 @@ __all__ = [
     "convergence_sweep",
     "cosine_similarity",
     "erdos_renyi",
+    "estimate",
     "estimate_concentration",
     "estimate_counts",
+    "estimators",
     "exact_concentrations",
     "exact_counts",
     "global_clustering_coefficient",
@@ -118,6 +136,7 @@ __all__ = [
     "relationship_graph",
     "run_estimation",
     "run_trials",
+    "run_with_checkpoints",
     "sample_size_bound",
     "srw_estimate",
     "triangle_count",
@@ -127,3 +146,9 @@ __all__ = [
     "wedge_sampling",
     "weighted_concentration",
 ]
+
+
+def __getattr__(name: str):
+    if name == "EstimationResult":
+        return _deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,25 +1,41 @@
-"""Baselines the paper compares against (§6.3)."""
+"""Baselines the paper compares against (§6.3).
 
-from .guise import GuiseResult, guise, guise_neighbors
-from .hardiman_katzir import HardimanKatzirResult, hardiman_katzir
+Every baseline returns the unified :class:`~repro.core.result.Estimate`
+and exposes a streaming ``Session`` class; the per-method result
+dataclasses (``GuiseResult``, ``WedgeSamplingResult``, …) are deprecated
+aliases of :class:`~repro.core.result.Estimate`, kept importable for one
+release.
+"""
+
+from ..core.result import deprecated_result_alias
+from .guise import GuiseSession, guise, guise_neighbors
+from .hardiman_katzir import HardimanKatzirSession, hardiman_katzir
 from .path_sampling import (
     PathSampler,
-    PathSamplingResult,
+    PathSamplingSession,
     path_sampling,
     path_weights,
 )
 from .psrw import psrw_estimate, psrw_spec, srw_estimate, srw_spec
-from .wedge import WedgeSampler, WedgeSamplingResult, wedge_sampling
-from .wedge_mhrw import WedgeMHRWResult, wedge_mhrw
+from .wedge import WedgeSampler, WedgeSession, wedge_sampling
+from .wedge_mhrw import WedgeMHRWSession, wedge_mhrw
 
-__all__ = [
+_DEPRECATED_RESULTS = (
     "GuiseResult",
     "HardimanKatzirResult",
-    "PathSampler",
     "PathSamplingResult",
     "WedgeMHRWResult",
-    "WedgeSampler",
     "WedgeSamplingResult",
+)
+
+__all__ = [
+    "GuiseSession",
+    "HardimanKatzirSession",
+    "PathSampler",
+    "PathSamplingSession",
+    "WedgeMHRWSession",
+    "WedgeSampler",
+    "WedgeSession",
     "guise",
     "guise_neighbors",
     "hardiman_katzir",
@@ -32,3 +48,9 @@ __all__ = [
     "wedge_mhrw",
     "wedge_sampling",
 ]
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RESULTS:
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

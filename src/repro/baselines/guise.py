@@ -12,17 +12,24 @@ The paper cites GUISE's *sample rejection* as its weakness (§1.1): every
 rejected proposal burns a step (and, under restricted access, API calls)
 without producing a new sample.  The result records the rejection rate so
 experiments can show exactly that.
+
+:class:`GuiseSession` exposes the run through the streaming estimator
+protocol (``step``/``snapshot``/``result``); :func:`guise` is the
+one-shot wrapper and returns the unified
+:class:`~repro.core.result.Estimate` (``GuiseResult`` is a deprecated
+alias).  Visit tallies for all sizes stay available as
+``result.visits``.
 """
 
 from __future__ import annotations
 
 import random
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core.result import Estimate, deprecated_result_alias
+from ..core.session import Session
 from ..graphlets.catalog import classify_nodes, graphlets
 
 State = Tuple[int, ...]
@@ -92,33 +99,91 @@ def _is_connected(graph, nodes: Tuple[int, ...]) -> bool:
     return len(seen) == len(node_set)
 
 
-@dataclass
-class GuiseResult:
-    """Visit-frequency estimates from a GUISE run."""
+class GuiseSession(Session):
+    """Streaming GUISE run: one budget unit = one MH proposal.
 
-    steps: int
-    rejected: int
-    visits: Dict[int, np.ndarray] = field(default_factory=dict)  # k -> counts
-    elapsed_seconds: float = 0.0
+    Concentrations in snapshots refer to the ``k`` chosen at
+    construction; visit tallies for all sizes ride along in
+    ``meta['visits']``.  GUISE targets the uniform distribution over
+    subgraphs, so within one size class the visit frequencies estimate
+    concentrations directly.
+    """
 
-    @property
-    def rejection_rate(self) -> float:
-        """Fraction of proposals rejected."""
-        return self.rejected / self.steps if self.steps else 0.0
-
-    def concentrations(self, k: int) -> Dict[str, float]:
-        """Estimated concentrations of the k-node graphlets.
-
-        GUISE targets the uniform distribution over subgraphs, so within
-        one size class the visit frequencies estimate concentrations
-        directly.
-        """
-        counts = self.visits[k]
-        total = counts.sum()
-        return {
-            g.name: float(counts[g.index] / total) if total else 0.0
-            for g in graphlets(k)
+    def __init__(
+        self,
+        graph,
+        budget: int,
+        k: int = 3,
+        seed: Optional[int] = None,
+        seed_node: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(budget)
+        if k not in (MIN_SIZE, 4, MAX_SIZE):
+            raise ValueError(f"GUISE covers k in (3, 4, 5), got k={k}")
+        self.graph = graph
+        self.k = k
+        rng = rng if rng is not None else random.Random(seed)
+        self._rng = rng
+        # Grow the initial 3-node state.
+        state: List[int] = [seed_node]
+        while len(state) < MIN_SIZE:
+            frontier = [
+                w for u in state for w in graph.neighbors(u) if w not in state
+            ]
+            if not frontier:
+                raise ValueError(f"cannot grow a 3-node subgraph from {seed_node}")
+            state.append(frontier[rng.randrange(len(frontier))])
+        self._current: State = tuple(sorted(state))
+        self._current_neighbors = guise_neighbors(graph, self._current)
+        self._visits = {
+            size: np.zeros(len(graphlets(size)), dtype=np.int64)
+            for size in (MIN_SIZE, 4, MAX_SIZE)
         }
+        self._rejected = 0
+
+    def _advance(self, n: int) -> None:
+        graph, rng = self.graph, self._rng
+        current, current_neighbors = self._current, self._current_neighbors
+        visits = self._visits
+        for _ in range(n):
+            visits[len(current)][classify_nodes(graph, current)] += 1
+            proposal = current_neighbors[rng.randrange(len(current_neighbors))]
+            proposal_neighbors = guise_neighbors(graph, proposal)
+            accept = min(1.0, len(current_neighbors) / len(proposal_neighbors))
+            if rng.random() < accept:
+                current, current_neighbors = proposal, proposal_neighbors
+            else:
+                self._rejected += 1
+        self._current, self._current_neighbors = current, current_neighbors
+
+    def snapshot(self) -> Estimate:
+        counts = self._visits[self.k]
+        total = int(counts.sum())
+        if total:
+            concentrations = counts / total
+            # Naive multinomial errors; proposals are correlated, so read
+            # these as a lower bound on the true MCMC error.
+            stderr = np.sqrt(concentrations * (1.0 - concentrations) / total)
+        else:
+            concentrations = np.zeros(len(counts))
+            stderr = None
+        steps = self.consumed
+        return Estimate(
+            method="guise",
+            k=self.k,
+            steps=steps,
+            samples=total,
+            concentrations=concentrations,
+            stderr=stderr,
+            elapsed_seconds=self._elapsed,
+            meta={
+                "visits": {size: array.copy() for size, array in self._visits.items()},
+                "rejected": self._rejected,
+                "rejection_rate": self._rejected / steps if steps else 0.0,
+                "api_calls": getattr(self.graph, "api_calls", None),
+            },
+        )
 
 
 def guise(
@@ -126,42 +191,20 @@ def guise(
     steps: int,
     seed: Optional[int] = None,
     seed_node: int = 0,
-) -> GuiseResult:
+    k: int = 3,
+) -> Estimate:
     """Run GUISE for ``steps`` MH proposals.
 
-    Starts from a 3-node subgraph grown from ``seed_node``.
+    Starts from a 3-node subgraph grown from ``seed_node``.  The
+    returned estimate's concentrations refer to size ``k``; visit
+    tallies for all sizes are in ``result.visits``.
     """
     if steps <= 0:
         raise ValueError("steps must be positive")
-    rng = random.Random(seed)
-    # Grow the initial 3-node state.
-    state: List[int] = [seed_node]
-    while len(state) < MIN_SIZE:
-        frontier = [
-            w for u in state for w in graph.neighbors(u) if w not in state
-        ]
-        if not frontier:
-            raise ValueError(f"cannot grow a 3-node subgraph from {seed_node}")
-        state.append(frontier[rng.randrange(len(frontier))])
-    current: State = tuple(sorted(state))
-    current_neighbors = guise_neighbors(graph, current)
+    return GuiseSession(graph, steps, k=k, seed=seed, seed_node=seed_node).result()
 
-    visits = {k: np.zeros(len(graphlets(k)), dtype=np.int64) for k in (3, 4, 5)}
-    rejected = 0
-    start = time.perf_counter()
-    for _ in range(steps):
-        visits[len(current)][classify_nodes(graph, current)] += 1
-        proposal = current_neighbors[rng.randrange(len(current_neighbors))]
-        proposal_neighbors = guise_neighbors(graph, proposal)
-        accept = min(1.0, len(current_neighbors) / len(proposal_neighbors))
-        if rng.random() < accept:
-            current, current_neighbors = proposal, proposal_neighbors
-        else:
-            rejected += 1
-    elapsed = time.perf_counter() - start
-    return GuiseResult(
-        steps=steps,
-        rejected=rejected,
-        visits=visits,
-        elapsed_seconds=elapsed,
-    )
+
+def __getattr__(name: str):
+    if name == "GuiseResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,43 +14,80 @@ concentration follows as ``c_2^3 = cc / (3 - 2 cc)`` (§2.1).
 The paper shows this method is equivalent to SRW1 inside the new framework
 (§6.3.1) but "derived in a totally different way"; we implement it from
 the original construction so that equivalence is *measured*, not assumed.
+
+:class:`HardimanKatzirSession` exposes the run through the streaming
+estimator protocol; :func:`hardiman_katzir` returns the unified
+:class:`~repro.core.result.Estimate` (``HardimanKatzirResult`` is a
+deprecated alias) with ``clustering_coefficient`` and the raw ``phi``/
+``psi`` accumulators in the meta dict.
 """
 
 from __future__ import annotations
 
 import random
-import time
-from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
+from ..core.result import Estimate, deprecated_result_alias
+from ..core.session import Session
 from ..relgraph.spaces import NodeSpace
 from ..walks.walkers import SimpleWalk
 
 
-@dataclass
-class HardimanKatzirResult:
-    """Estimates from a Hardiman–Katzir run."""
+class HardimanKatzirSession(Session):
+    """Streaming run: one budget unit = one interior walk position."""
 
-    steps: int
-    phi_weighted: float  # sum of phi_t * d_{v_t}
-    psi: float  # sum of (d_{v_t} - 1)
-    elapsed_seconds: float
+    def __init__(
+        self,
+        graph,
+        budget: int,
+        seed: Optional[int] = None,
+        seed_node: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(budget)
+        self.graph = graph
+        rng = rng if rng is not None else random.Random(seed)
+        self._walk = SimpleWalk(graph, NodeSpace(), rng=rng, seed_node=seed_node)
+        self._previous = self._walk.state[0]
+        self._current = self._walk.step()[0]
+        self._phi_weighted = 0.0
+        self._psi = 0.0
 
-    @property
-    def clustering_coefficient(self) -> float:
-        """Estimated global clustering coefficient."""
-        return self.phi_weighted / self.psi if self.psi else 0.0
+    def _advance(self, n: int) -> None:
+        graph, walk = self.graph, self._walk
+        previous, current = self._previous, self._current
+        phi_weighted, psi = self._phi_weighted, self._psi
+        for _ in range(n):
+            nxt = walk.step()[0]
+            degree = graph.degree(current)
+            if nxt in graph.neighbor_set(previous):
+                phi_weighted += degree
+            psi += degree - 1
+            previous, current = current, nxt
+        self._previous, self._current = previous, current
+        self._phi_weighted, self._psi = phi_weighted, psi
 
-    @property
-    def triangle_concentration(self) -> float:
-        """Estimated c_2^3 = cc / (3 - 2 cc)."""
-        cc = self.clustering_coefficient
-        return cc / (3.0 - 2.0 * cc)
-
-    @property
-    def wedge_concentration(self) -> float:
-        """Estimated c_1^3 = 1 - c_2^3."""
-        return 1.0 - self.triangle_concentration
+    def snapshot(self) -> Estimate:
+        cc = self._phi_weighted / self._psi if self._psi else 0.0
+        triangle_c = cc / (3.0 - 2.0 * cc)
+        return Estimate(
+            method="hardiman_katzir",
+            k=3,
+            steps=self.consumed,
+            samples=self.consumed,
+            concentrations=np.array([1.0 - triangle_c, triangle_c]),
+            elapsed_seconds=self._elapsed,
+            meta={
+                "phi_weighted": self._phi_weighted,
+                "psi": self._psi,
+                "clustering_coefficient": cc,
+                "triangle_concentration": triangle_c,
+                "wedge_concentration": 1.0 - triangle_c,
+                "api_calls": getattr(self.graph, "api_calls", None),
+            },
+        )
 
 
 def hardiman_katzir(
@@ -58,27 +95,14 @@ def hardiman_katzir(
     steps: int,
     seed: Optional[int] = None,
     seed_node: int = 0,
-) -> HardimanKatzirResult:
+) -> Estimate:
     """Run the estimator for ``steps`` interior walk positions."""
     if steps <= 0:
         raise ValueError("steps must be positive")
-    rng = random.Random(seed)
-    walk = SimpleWalk(graph, NodeSpace(), rng=rng, seed_node=seed_node)
-    start = time.perf_counter()
-    previous = walk.state[0]
-    current = walk.step()[0]
-    phi_weighted = 0.0
-    psi = 0.0
-    for _ in range(steps):
-        nxt = walk.step()[0]
-        degree = graph.degree(current)
-        if nxt in graph.neighbor_set(previous):
-            phi_weighted += degree
-        psi += degree - 1
-        previous, current = current, nxt
-    return HardimanKatzirResult(
-        steps=steps,
-        phi_weighted=phi_weighted,
-        psi=psi,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return HardimanKatzirSession(graph, steps, seed=seed, seed_node=seed_node).result()
+
+
+def __getattr__(name: str):
+    if name == "HardimanKatzirResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

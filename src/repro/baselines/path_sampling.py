@@ -18,7 +18,11 @@ where S = sum_e tau_e and ``hits_i`` counts samples classified as type i
 hits, which is what makes S rather than S' the correct normalizer).
 
 The 3-star (beta = 0) is invisible to this sampler — the reason the paper
-declines to adapt path sampling to restricted access (§6.3.3).
+declines to adapt path sampling to restricted access (§6.3.3).  Its
+concentration and count are ``nan`` in the unified
+:class:`~repro.core.result.Estimate` this module returns
+(``PathSamplingResult`` is a deprecated alias); count estimates are in
+``meta['count_estimates']`` / :meth:`Estimate.count_dict`.
 """
 
 from __future__ import annotations
@@ -26,13 +30,14 @@ from __future__ import annotations
 import bisect
 import random
 import time
-from dataclasses import dataclass
 from itertools import accumulate
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.alpha import hamilton_paths
+from ..core.result import Estimate, deprecated_result_alias
+from ..core.session import Session
 from ..graphlets.catalog import classify_nodes, graphlets
 from ..graphs.graph import Graph
 
@@ -40,39 +45,6 @@ from ..graphs.graph import Graph
 def path_weights(k: int = 4) -> Tuple[int, ...]:
     """beta_i: number of Hamiltonian (spanning) paths per graphlet type."""
     return tuple(hamilton_paths(g.edges, k) for g in graphlets(k))
-
-
-@dataclass
-class PathSamplingResult:
-    """Result of a 3-path sampling run."""
-
-    samples: int
-    hits: np.ndarray  # per 4-node type, catalog order
-    total_weight: float  # S = sum_e tau_e
-    elapsed_seconds: float
-    preprocess_seconds: float
-
-    @property
-    def counts(self) -> np.ndarray:
-        """Estimated 4-node graphlet counts (nan for the invisible 3-star)."""
-        betas = path_weights()
-        estimates = np.full(len(betas), np.nan)
-        for i, beta in enumerate(betas):
-            if beta > 0:
-                estimates[i] = self.hits[i] / self.samples * self.total_weight / beta
-        return estimates
-
-    def count_dict(self) -> Dict[str, float]:
-        """Counts keyed by graphlet name."""
-        values = self.counts
-        return {g.name: float(values[g.index]) for g in graphlets(4)}
-
-    @property
-    def concentrations(self) -> np.ndarray:
-        """Concentrations among the five observable types (star gets nan)."""
-        counts = self.counts
-        total = np.nansum(counts)
-        return counts / total if total > 0 else counts
 
 
 class PathSampler:
@@ -97,16 +69,36 @@ class PathSampler:
         target = self.rng.randrange(int(self.total_weight))
         return self.edges[bisect.bisect_right(self.cumulative, target)]
 
-    def run(self, samples: int) -> PathSamplingResult:
+    def run(self, samples: int) -> Estimate:
         """Draw ``samples`` candidate 3-paths and summarize."""
         if samples <= 0:
             raise ValueError("samples must be positive")
-        start = time.perf_counter()
-        hits = np.zeros(len(graphlets(4)), dtype=np.int64)
-        rng = self.rng
-        graph = self.graph
-        for _ in range(samples):
-            u, v = self.sample_edge()
+        return PathSamplingSession(sampler=self, budget=samples).result()
+
+
+class PathSamplingSession(Session):
+    """Streaming 3-path run: one budget unit = one candidate draw."""
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        budget: int = 20_000,
+        seed: Optional[int] = None,
+        sampler: Optional[PathSampler] = None,
+    ) -> None:
+        super().__init__(budget)
+        if sampler is None:
+            sampler = PathSampler(graph, random.Random(seed))
+        self.sampler = sampler
+        self._hits = np.zeros(len(graphlets(4)), dtype=np.int64)
+
+    def _advance(self, n: int) -> None:
+        sampler = self.sampler
+        rng = sampler.rng
+        graph = sampler.graph
+        hits = self._hits
+        for _ in range(n):
+            u, v = sampler.sample_edge()
             u_neighbors = graph.neighbors(u)
             v_neighbors = graph.neighbors(v)
             while True:
@@ -120,17 +112,45 @@ class PathSampler:
             if u_prime == v_prime:
                 continue  # only 3 distinct nodes: not a 3-path
             hits[classify_nodes(graph, (u_prime, u, v, v_prime))] += 1
-        return PathSamplingResult(
-            samples=samples,
-            hits=hits,
-            total_weight=self.total_weight,
-            elapsed_seconds=time.perf_counter() - start,
-            preprocess_seconds=self.preprocess_seconds,
+
+    def snapshot(self) -> Estimate:
+        samples = self.consumed
+        betas = path_weights()
+        counts = np.full(len(betas), np.nan)
+        if samples:
+            for i, beta in enumerate(betas):
+                if beta > 0:
+                    counts[i] = (
+                        self._hits[i] / samples * self.sampler.total_weight / beta
+                    )
+        total = np.nansum(counts)
+        concentrations = counts / total if total > 0 else counts.copy()
+        return Estimate(
+            method="path_sampling",
+            k=4,
+            steps=samples,
+            samples=int(self._hits.sum()),
+            concentrations=concentrations,
+            elapsed_seconds=self._elapsed,
+            meta={
+                "hits": self._hits.copy(),
+                "total_weight": self.sampler.total_weight,
+                "count_estimates": {
+                    g.name: float(counts[g.index]) for g in graphlets(4)
+                },
+                "preprocess_seconds": self.sampler.preprocess_seconds,
+            },
         )
 
 
 def path_sampling(
     graph: Graph, samples: int, seed: Optional[int] = None
-) -> PathSamplingResult:
+) -> Estimate:
     """One-shot 3-path sampling."""
     return PathSampler(graph, random.Random(seed)).run(samples)
+
+
+def __getattr__(name: str):
+    if name == "PathSamplingResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

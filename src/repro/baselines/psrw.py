@@ -14,7 +14,8 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from ..core.estimator import EstimationResult, MethodSpec, run_estimation
+from ..core.estimator import MethodSpec, run_estimation
+from ..core.result import Estimate
 
 
 def psrw_spec(k: int) -> MethodSpec:
@@ -33,7 +34,7 @@ def psrw_estimate(
     steps: int,
     seed: Optional[int] = None,
     seed_node: int = 0,
-) -> EstimationResult:
+) -> Estimate:
     """Run the PSRW baseline."""
     return run_estimation(
         graph, psrw_spec(k), steps, rng=random.Random(seed), seed_node=seed_node
@@ -46,7 +47,7 @@ def srw_estimate(
     steps: int,
     seed: Optional[int] = None,
     seed_node: int = 0,
-) -> EstimationResult:
+) -> Estimate:
     """Run the plain SRW-on-G(k) baseline."""
     return run_estimation(
         graph, srw_spec(k), steps, rng=random.Random(seed), seed_node=seed_node

@@ -13,53 +13,29 @@ statistics:
 Requires the whole graph up front (the O(|V|) preprocessing the paper's
 §6.3.2 highlights); the restricted-access adaptation is
 :mod:`.wedge_mhrw`.
+
+:class:`WedgeSession` exposes the run through the streaming estimator
+protocol; :func:`wedge_sampling` and :meth:`WedgeSampler.run` return the
+unified :class:`~repro.core.result.Estimate` (``WedgeSamplingResult`` is
+a deprecated alias) whose k=3 concentrations are ``[c_1^3, c_2^3]``;
+triadic extras (``triangle_count``, ``closed_fraction``, …) ride in the
+meta dict and stay readable as attributes.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 import random
 import time
-from dataclasses import dataclass
 from itertools import accumulate
 from typing import Optional
 
+import numpy as np
+
+from ..core.result import Estimate, deprecated_result_alias
+from ..core.session import Session
 from ..graphs.graph import Graph
-
-
-@dataclass
-class WedgeSamplingResult:
-    """Result of a wedge-sampling run."""
-
-    samples: int
-    closed: int
-    total_wedges: int
-    elapsed_seconds: float
-    preprocess_seconds: float
-
-    @property
-    def closed_fraction(self) -> float:
-        """kappa^: fraction of sampled wedges that are closed.
-
-        Equals the global clustering coefficient in expectation.
-        """
-        return self.closed / self.samples if self.samples else 0.0
-
-    @property
-    def triangle_count(self) -> float:
-        """Estimated number of triangles, kappa^ * W / 3."""
-        return self.closed_fraction * self.total_wedges / 3.0
-
-    @property
-    def wedge_graphlet_count(self) -> float:
-        """Estimated induced (open) wedge count C_1^3."""
-        return (1.0 - self.closed_fraction) * self.total_wedges
-
-    @property
-    def triangle_concentration(self) -> float:
-        """Estimated c_2^3 = kappa / (3 - 2 kappa)."""
-        kappa = self.closed_fraction
-        return kappa / (3.0 - 2.0 * kappa)
 
 
 class WedgeSampler:
@@ -91,27 +67,79 @@ class WedgeSampler:
             b_pos += 1
         return center, neighbors[a_pos], neighbors[b_pos]
 
-    def run(self, samples: int) -> WedgeSamplingResult:
+    def run(self, samples: int) -> Estimate:
         """Draw ``samples`` wedges and summarize."""
         if samples <= 0:
             raise ValueError("samples must be positive")
-        start = time.perf_counter()
+        return WedgeSession(sampler=self, budget=samples).result()
+
+
+class WedgeSession(Session):
+    """Streaming wedge-sampling run: one budget unit = one wedge draw."""
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        budget: int = 20_000,
+        seed: Optional[int] = None,
+        sampler: Optional[WedgeSampler] = None,
+    ) -> None:
+        super().__init__(budget)
+        if sampler is None:
+            sampler = WedgeSampler(graph, random.Random(seed))
+        self.sampler = sampler
+        self._closed = 0
+
+    def _advance(self, n: int) -> None:
+        sampler = self.sampler
+        graph = sampler.graph
         closed = 0
-        for _ in range(samples):
-            _, a, b = self.sample_wedge()
-            if self.graph.has_edge(a, b):
+        for _ in range(n):
+            _, a, b = sampler.sample_wedge()
+            if graph.has_edge(a, b):
                 closed += 1
-        return WedgeSamplingResult(
+        self._closed += closed
+
+    def snapshot(self) -> Estimate:
+        samples = self.consumed
+        kappa = self._closed / samples if samples else 0.0
+        triangle_c = kappa / (3.0 - 2.0 * kappa)
+        stderr = None
+        if samples:
+            # Binomial error on kappa, delta-method through c_2 = k/(3-2k).
+            kappa_se = math.sqrt(kappa * (1.0 - kappa) / samples)
+            c2_se = 3.0 * kappa_se / (3.0 - 2.0 * kappa) ** 2
+            stderr = np.array([c2_se, c2_se])
+        total_wedges = self.sampler.total_wedges
+        return Estimate(
+            method="wedge",
+            k=3,
+            steps=samples,
             samples=samples,
-            closed=closed,
-            total_wedges=self.total_wedges,
-            elapsed_seconds=time.perf_counter() - start,
-            preprocess_seconds=self.preprocess_seconds,
+            concentrations=np.array([1.0 - triangle_c, triangle_c]),
+            stderr=stderr,
+            elapsed_seconds=self._elapsed,
+            meta={
+                "closed": self._closed,
+                "total_wedges": total_wedges,
+                "closed_fraction": kappa,
+                "triangle_concentration": triangle_c,
+                "wedge_concentration": 1.0 - triangle_c,
+                "triangle_count": kappa * total_wedges / 3.0,
+                "wedge_graphlet_count": (1.0 - kappa) * total_wedges,
+                "preprocess_seconds": self.sampler.preprocess_seconds,
+            },
         )
 
 
 def wedge_sampling(
     graph: Graph, samples: int, seed: Optional[int] = None
-) -> WedgeSamplingResult:
+) -> Estimate:
     """One-shot wedge sampling."""
     return WedgeSampler(graph, random.Random(seed)).run(samples)
+
+
+def __getattr__(name: str):
+    if name == "WedgeSamplingResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -11,49 +11,105 @@ increment C^_2, open ones C^_1, and
 Each step needs the neighbor lists of the current node *and* of the wedge
 endpoints (for the closure test), i.e. 3 API calls per step against the
 framework's 1 — the cost asymmetry reproduced by the Figure 8 benchmark.
-The ``nominal_api_calls`` field reports that uncached 3-per-step figure;
-when run over a :class:`~repro.graphs.RestrictedGraph` the result also
-carries the measured (cache-aware) call count.
+The ``nominal_api_calls`` meta entry reports that uncached 3-per-step
+figure; when run over a :class:`~repro.graphs.RestrictedGraph` the result
+also carries the measured (cache-aware) call count.
+
+:class:`WedgeMHRWSession` exposes the run through the streaming estimator
+protocol; :func:`wedge_mhrw` returns the unified
+:class:`~repro.core.result.Estimate` (``WedgeMHRWResult`` is a deprecated
+alias).
 """
 
 from __future__ import annotations
 
 import random
-import time
-from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
+from ..core.result import Estimate, deprecated_result_alias
+from ..core.session import Session
 from ..walks.mhrw import MetropolisHastingsWalk, wedge_weight
 
 
-@dataclass
-class WedgeMHRWResult:
-    """Result of an Algorithm 4 run."""
+class WedgeMHRWSession(Session):
+    """Streaming Algorithm 4 run: one budget unit = one MHRW step.
 
-    steps: int
-    open_wedges: int
-    closed_wedges: int
-    elapsed_seconds: float
-    nominal_api_calls: int
-    api_calls: Optional[int] = None
+    ``graph`` may be a :class:`~repro.graphs.Graph` or a
+    :class:`~repro.graphs.RestrictedGraph`; a seed node of degree >= 2 is
+    required (line 3 of Algorithm 4) — if the given one is too small, the
+    walk advances until it reaches one before sampling starts.
+    """
 
-    @property
-    def wedge_concentration(self) -> float:
-        """c^_1 (open-wedge graphlet concentration)."""
-        denominator = 3 * self.open_wedges + self.closed_wedges
-        return 3 * self.open_wedges / denominator if denominator else 0.0
+    def __init__(
+        self,
+        graph,
+        budget: int,
+        seed: Optional[int] = None,
+        seed_node: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(budget)
+        self.graph = graph
+        rng = rng if rng is not None else random.Random(seed)
+        self._rng = rng
+        self._walk = MetropolisHastingsWalk(
+            graph, weight=wedge_weight, rng=rng, seed_node=seed_node
+        )
+        # Ensure the start node can host a wedge.
+        guard = 0
+        while graph.degree(self._walk.state) < 2:
+            self._walk.state = graph.neighbors(self._walk.state)[
+                rng.randrange(graph.degree(self._walk.state))
+            ]
+            guard += 1
+            if guard > graph_size_guard(graph):
+                raise RuntimeError("could not reach a node of degree >= 2")
+        self._open = 0
+        self._closed = 0
 
-    @property
-    def triangle_concentration(self) -> float:
-        """c^_2 (triangle concentration)."""
-        denominator = 3 * self.open_wedges + self.closed_wedges
-        return self.closed_wedges / denominator if denominator else 0.0
+    def _advance(self, n: int) -> None:
+        graph, rng, walk = self.graph, self._rng, self._walk
+        open_wedges = closed_wedges = 0
+        for _ in range(n):
+            v = walk.state
+            neighbors = graph.neighbors(v)
+            a_pos = rng.randrange(len(neighbors))
+            b_pos = rng.randrange(len(neighbors) - 1)
+            if b_pos >= a_pos:
+                b_pos += 1
+            a, b = neighbors[a_pos], neighbors[b_pos]
+            if graph.has_edge(a, b):
+                closed_wedges += 1
+            else:
+                open_wedges += 1
+            walk.step()
+        self._open += open_wedges
+        self._closed += closed_wedges
 
-    @property
-    def clustering_coefficient(self) -> float:
-        """Global clustering coefficient 3 c / (2 c + 1) from c^_2."""
-        c = self.triangle_concentration
-        return 3 * c / (2 * c + 1)
+    def snapshot(self) -> Estimate:
+        denominator = 3 * self._open + self._closed
+        wedge_c = 3 * self._open / denominator if denominator else 0.0
+        triangle_c = self._closed / denominator if denominator else 0.0
+        steps = self.consumed
+        return Estimate(
+            method="wedge_mhrw",
+            k=3,
+            steps=steps,
+            samples=steps,
+            concentrations=np.array([wedge_c, triangle_c]),
+            elapsed_seconds=self._elapsed,
+            meta={
+                "open_wedges": self._open,
+                "closed_wedges": self._closed,
+                "wedge_concentration": wedge_c,
+                "triangle_concentration": triangle_c,
+                "clustering_coefficient": 3 * triangle_c / (2 * triangle_c + 1),
+                "nominal_api_calls": 3 * steps,
+                "api_calls": getattr(self.graph, "api_calls", None),
+            },
+        )
 
 
 def wedge_mhrw(
@@ -61,52 +117,19 @@ def wedge_mhrw(
     steps: int,
     seed: Optional[int] = None,
     seed_node: int = 0,
-) -> WedgeMHRWResult:
-    """Run Algorithm 4 for ``steps`` random-walk steps.
-
-    ``graph`` may be a :class:`~repro.graphs.Graph` or a
-    :class:`~repro.graphs.RestrictedGraph`; a seed node of degree >= 2 is
-    required (line 3 of Algorithm 4) — if the given one is too small, the
-    walk advances until it reaches one before sampling starts.
-    """
+) -> Estimate:
+    """Run Algorithm 4 for ``steps`` random-walk steps."""
     if steps <= 0:
         raise ValueError("steps must be positive")
-    rng = random.Random(seed)
-    walk = MetropolisHastingsWalk(graph, weight=wedge_weight, rng=rng, seed_node=seed_node)
-    start = time.perf_counter()
-    # Ensure the start node can host a wedge.
-    guard = 0
-    while graph.degree(walk.state) < 2:
-        walk.state = graph.neighbors(walk.state)[rng.randrange(graph.degree(walk.state))]
-        guard += 1
-        if guard > graph_size_guard(graph):
-            raise RuntimeError("could not reach a node of degree >= 2")
-
-    open_wedges = closed_wedges = 0
-    for _ in range(steps):
-        v = walk.state
-        neighbors = graph.neighbors(v)
-        a_pos = rng.randrange(len(neighbors))
-        b_pos = rng.randrange(len(neighbors) - 1)
-        if b_pos >= a_pos:
-            b_pos += 1
-        a, b = neighbors[a_pos], neighbors[b_pos]
-        if graph.has_edge(a, b):
-            closed_wedges += 1
-        else:
-            open_wedges += 1
-        walk.step()
-    elapsed = time.perf_counter() - start
-    return WedgeMHRWResult(
-        steps=steps,
-        open_wedges=open_wedges,
-        closed_wedges=closed_wedges,
-        elapsed_seconds=elapsed,
-        nominal_api_calls=3 * steps,
-        api_calls=getattr(graph, "api_calls", None),
-    )
+    return WedgeMHRWSession(graph, steps, seed=seed, seed_node=seed_node).result()
 
 
 def graph_size_guard(graph) -> int:
     """Safety bound for pre-walk loops (number of nodes when known)."""
     return getattr(graph, "num_nodes", 1_000_000)
+
+
+def __getattr__(name: str):
+    if name == "WedgeMHRWResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,12 +1,20 @@
 """Command-line interface.
 
     python -m repro datasets
+    python -m repro methods
     python -m repro summarize --dataset facebook-like
     python -m repro estimate --dataset karate -k 4 --method SRW2CSS --steps 20000
+    python -m repro estimate --dataset karate -k 3 --method guise --steps 20000
     python -m repro estimate --dataset karate -k 4 --backend csr --chains 16
     python -m repro exact --dataset karate -k 4
     python -m repro compare --dataset karate -k 3 --steps 5000 --trials 10
+    python -m repro compare --dataset karate -k 3 --methods SRW1,wedge,exact
     python -m repro bound --dataset karate -k 3 -d 1 --graphlet triangle
+
+``estimate`` and ``compare`` are driven purely off the estimator
+registry (:mod:`repro.estimators`): any registered method name — the
+framework grammar or a baseline — works, and a newly ``register()``-ed
+method appears here with no CLI change.
 
 Edge-list files are accepted anywhere a dataset name is (``--edge-list
 path``); the file is loaded, relabeled, and reduced to its LCC like the
@@ -16,11 +24,13 @@ paper's preprocessing.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
-from .core import GraphletEstimator, recommended_method, sample_size_bound
-from .evaluation import format_table, nrmse_table, run_trials
+from .core import recommended_method, sample_size_bound
+from .estimators import available, estimate as run_registry_estimate
+from .evaluation import format_table, nrmse_table
 from .exact import exact_concentrations
 from .graphlets import graphlet_by_name, graphlets
 from .graphs import (
@@ -69,29 +79,49 @@ def cmd_summarize(args) -> int:
     return 0
 
 
+def cmd_methods(args) -> int:
+    print(format_table(["method"], [[name] for name in available()],
+                       title="registered estimators (repro.estimators)"))
+    return 0
+
+
 def cmd_estimate(args) -> int:
     graph = _resolve_graph(args)
     method = args.method or recommended_method(args.k)
-    estimator = GraphletEstimator(
-        graph,
-        k=args.k,
-        method=method,
-        seed=args.seed,
-        backend=args.backend,
-        chains=args.chains,
-    )
-    result = estimator.run(args.steps)
-    rows = [
-        [g.paper_id, g.name, float(result.concentrations[g.index])]
-        for g in graphlets(args.k)
-    ]
+    try:
+        result = run_registry_estimate(
+            graph,
+            method,
+            k=args.k,
+            budget=args.steps,
+            seed=args.seed,
+            backend=args.backend,
+            chains=args.chains,
+            burn_in=args.burn_in,
+        )
+    except (KeyError, ValueError) as exc:
+        # KeyError.__str__ is the repr of its argument; unwrap it.
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    values = result.concentrations
+    stderr = result.stderr
+    header = ["id", "graphlet", "concentration"]
+    if stderr is not None:
+        header.append("stderr")
+    rows = []
+    for g in graphlets(args.k):
+        value = float(values[g.index])
+        row = [g.paper_id, g.name, "n/a" if math.isnan(value) else value]
+        if stderr is not None:
+            row.append(float(stderr[g.index]))
+        rows.append(row)
     chain_note = f", {result.chains} chains" if result.chains > 1 else ""
     print(
         format_table(
-            ["id", "graphlet", "concentration"],
+            header,
             rows,
-            title=f"{method}, {args.steps} steps{chain_note}, "
-            f"{result.valid_samples} valid samples, "
+            title=f"{result.method}, {result.steps} steps{chain_note}, "
+            f"{result.samples} valid samples, "
             f"{result.elapsed_seconds:.2f}s",
         )
     )
@@ -110,21 +140,30 @@ def cmd_exact(args) -> int:
 
 def cmd_compare(args) -> int:
     graph = _resolve_graph(args)
-    methods = args.methods or {
-        3: ["SRW1", "SRW1CSS", "SRW1CSSNB", "SRW2"],
-        4: ["SRW2", "SRW2CSS", "SRW3"],
-        5: ["SRW2", "SRW2CSS", "SRW3"],
-    }[args.k]
+    if args.methods:
+        # Accept both space- and comma-separated method lists; any mix of
+        # framework methods and baselines shares the one NRMSE table.
+        methods = [m for entry in args.methods for m in entry.split(",") if m]
+    else:
+        methods = {
+            3: ["SRW1", "SRW1CSS", "SRW1CSSNB", "SRW2"],
+            4: ["SRW2", "SRW2CSS", "SRW3"],
+            5: ["SRW2", "SRW2CSS", "SRW3"],
+        }[args.k]
     truth = exact_concentrations(graph, args.k)
     target = (
         graphlet_by_name(args.k, args.graphlet).index
         if args.graphlet
         else min((i for i in truth if truth[i] > 0), key=lambda i: truth[i])
     )
-    table = nrmse_table(
-        graph, args.k, methods, steps=args.steps, trials=args.trials,
-        target_index=target, truth=truth, base_seed=args.seed,
-    )
+    try:
+        table = nrmse_table(
+            graph, args.k, methods, steps=args.steps, trials=args.trials,
+            target_index=target, truth=truth, base_seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
     name = graphlets(args.k)[target].name
     rows = [[m, v] for m, v in table.items()]
     print(
@@ -173,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_datasets
     )
 
+    sub.add_parser("methods", help="list registered estimation methods").set_defaults(
+        func=cmd_methods
+    )
+
     p = sub.add_parser("summarize", help="descriptive statistics of a graph")
     _add_graph_arguments(p)
     p.set_defaults(func=cmd_summarize)
@@ -180,9 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("estimate", help="estimate graphlet concentrations")
     _add_graph_arguments(p)
     p.add_argument("-k", type=int, default=4, choices=(3, 4, 5))
-    p.add_argument("--method", default=None, help="SRW{d}[CSS][NB]; default: paper's pick")
-    p.add_argument("--steps", type=int, default=20_000)
+    p.add_argument(
+        "--method",
+        default=None,
+        help="any registered method (see `repro methods`) or an "
+        "SRW{d}[CSS][NB] string; default: paper's pick for k",
+    )
+    p.add_argument("--steps", type=int, default=20_000, help="estimation budget")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--burn-in", type=int, default=0, dest="burn_in")
     p.add_argument(
         "--backend",
         default=None,
@@ -205,7 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="NRMSE comparison across methods")
     _add_graph_arguments(p)
     p.add_argument("-k", type=int, default=3, choices=(3, 4, 5))
-    p.add_argument("--methods", nargs="*", default=None)
+    p.add_argument(
+        "--methods",
+        nargs="*",
+        default=None,
+        help="registry names, space- or comma-separated "
+        "(framework methods and baselines mix freely, e.g. "
+        "--methods SRW1,wedge,hardiman_katzir,exact)",
+    )
     p.add_argument("--graphlet", default=None, help="target type (default: rarest)")
     p.add_argument("--steps", type=int, default=5_000)
     p.add_argument("--trials", type=int, default=10)

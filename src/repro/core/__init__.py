@@ -13,10 +13,12 @@ from .bounds import (
     sample_size_bound,
     weighted_concentration,
 )
-from .checkpoints import run_with_checkpoints
+from .checkpoints import checkpoint_session, run_with_checkpoints
 from .css import css_templates, sampling_weight
-from .estimator import EstimationResult, MethodSpec, run_estimation
+from .estimator import MethodSpec, SRWSession, run_estimation
 from .joint import run_joint_estimation
+from .result import Estimate, deprecated_result_alias
+from .session import EstimationConfig, Estimator, Session
 from .expanded_chain import (
     enumerate_windows,
     expanded_transition_matrix,
@@ -34,12 +36,17 @@ from .framework import (
 
 __all__ = [
     "BoundReport",
-    "EstimationResult",
+    "Estimate",
+    "EstimationConfig",
+    "Estimator",
     "GraphletEstimator",
     "MethodSpec",
+    "SRWSession",
+    "Session",
     "alpha_coefficient",
     "alpha_fingerprints",
     "alpha_table",
+    "checkpoint_session",
     "css_templates",
     "enumerate_windows",
     "estimate_concentration",
@@ -61,3 +68,9 @@ __all__ = [
     "lemma5_variances",
     "weighted_concentration",
 ]
+
+
+def __getattr__(name: str):
+    if name == "EstimationResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

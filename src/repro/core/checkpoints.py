@@ -1,35 +1,100 @@
-"""Checkpointed estimation: partial results along one walk.
+"""Checkpointed estimation: partial results along one run.
 
 Convergence studies (Figure 6) want the estimate at several budgets.
-Re-running the walk per budget is statistically clean but wastes steps when
-one only needs a *trajectory*; :func:`run_with_checkpoints` snapshots the
-running sums at the requested step counts of a single walk, giving the
-whole anytime-curve for the price of its largest budget.
+Re-running per budget is statistically clean but wastes steps when one
+only needs a *trajectory*; :func:`run_with_checkpoints` drives a single
+streaming :class:`~repro.core.session.Session` and snapshots it at the
+requested budgets, giving the whole anytime-curve for the price of its
+largest budget — for *any* registered estimator, not just the SRW
+family.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
-from .estimator import EstimationResult, MethodSpec, _run_walk
+from .estimator import MethodSpec, SRWSession
+from .result import Estimate
+from .session import Session
+
+
+def checkpoint_session(
+    graph,
+    method: Union[MethodSpec, str],
+    budget: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    seed_node: int = 0,
+    burn_in: int = 0,
+    chains: int = 1,
+    k: Optional[int] = None,
+) -> Session:
+    """A streaming session for ``method`` (a MethodSpec or registry name).
+
+    MethodSpec runs accept a live ``rng`` (bit-parity with
+    :func:`repro.core.run_estimation`); registry names are resolved via
+    :mod:`repro.estimators` and seed through ``seed``.
+    """
+    if isinstance(method, MethodSpec):
+        if rng is None:
+            rng = random.Random(seed)
+        return SRWSession(
+            graph, method, budget, rng=rng, seed_node=seed_node,
+            burn_in=burn_in, chains=chains,
+        )
+    if rng is not None:
+        raise ValueError(
+            "rng= is only supported for MethodSpec runs; registry methods "
+            "are seeded declaratively — pass seed= instead"
+        )
+    # Lazy import: estimators sits above core in the layer stack.
+    from ..estimators import get as get_estimator
+    from .session import EstimationConfig
+
+    config = EstimationConfig(
+        method=str(method), k=k, budget=budget, seed=seed, seed_node=seed_node,
+        burn_in=burn_in, chains=chains,
+    )
+    return get_estimator(method).prepare(graph, config)
 
 
 def run_with_checkpoints(
     graph,
-    spec: MethodSpec,
+    spec: Union[MethodSpec, str],
     checkpoints: Sequence[int],
     rng: Optional[random.Random] = None,
     seed_node: int = 0,
     burn_in: int = 0,
-) -> List[EstimationResult]:
-    """One walk, snapshotted at each checkpoint step count.
+    seed: Optional[int] = None,
+    chains: int = 1,
+    k: Optional[int] = None,
+) -> List[Estimate]:
+    """One streaming run, snapshotted at each checkpoint budget.
 
-    Returns one :class:`EstimationResult` per checkpoint (ascending); the
-    last one is exactly what a plain :func:`run_estimation` of the largest
-    budget with the same RNG would return.  Snapshots share the walk, so
-    they are *nested*, not independent — use
+    Returns one :class:`~repro.core.result.Estimate` per checkpoint
+    (ascending, deduplicated); the last one is exactly what a plain run
+    of the largest budget with the same seed would return.  Snapshots
+    share the run, so they are *nested*, not independent — use
     :func:`repro.evaluation.run_trials` when independence matters.
+
+    ``spec`` may be a :class:`MethodSpec` (the historical surface, honors
+    ``rng``) or any registry method name (``"guise"``, ``"srw2css"``, …;
+    pass ``seed``/``k`` instead of ``rng``).
     """
     budgets = sorted(set(checkpoints))
-    return _run_walk(graph, spec, budgets, rng, seed_node, burn_in)
+    if not budgets:
+        raise ValueError("checkpoints must be non-empty")
+    if budgets[0] <= 0:
+        raise ValueError(f"steps must be positive, got {budgets[0]}")
+    session = checkpoint_session(
+        graph, spec, budgets[-1], rng=rng, seed=seed, seed_node=seed_node,
+        burn_in=burn_in, chains=chains, k=k,
+    )
+    snapshots: List[Estimate] = []
+    reached = 0
+    for budget in budgets:
+        session.step(budget - reached)
+        reached = budget
+        snapshots.append(session.snapshot())
+    return snapshots

@@ -27,21 +27,24 @@ the seed estimator.
 
 from __future__ import annotations
 
+import math
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..graphlets.catalog import classify_bitmask, graphlets
+from ..graphlets.catalog import classify_bitmask
 from ..relgraph.spaces import WalkSpace, walk_space
 from ..walks.batched import batch_capable
 from ..walks.walkers import make_engine, make_walk
 from .alpha import alpha_table
 from .css import sampling_weight
 from .expanded_chain import nominal_degree
+from .result import Estimate, deprecated_result_alias
+from .session import Session
 
 
 @dataclass(frozen=True)
@@ -102,57 +105,33 @@ class MethodSpec:
         return cls(k=k, d=int(digits), css=css, nb=nb)
 
 
-@dataclass
-class EstimationResult:
-    """Outcome of one estimation run.
+def _between_chain_stderr(chain_sums: Sequence[np.ndarray]) -> Optional[np.ndarray]:
+    """Per-type standard error of the mean across chain concentrations.
 
-    ``sums`` holds the re-weighted indicator sums S_i per graphlet type
-    (catalog order); everything the paper reports derives from them.
+    Needs at least two chains with positive total sums; returns None
+    otherwise (notably for the pooled-only vectorized kernels).
     """
+    per_chain = []
+    for sums in chain_sums:
+        total = float(sums.sum())
+        if total > 0:
+            per_chain.append(sums / total)
+    if len(per_chain) < 2:
+        return None
+    stacked = np.vstack(per_chain)
+    return stacked.std(axis=0, ddof=1) / math.sqrt(stacked.shape[0])
 
-    k: int
-    method: str
-    d: int
-    steps: int
-    valid_samples: int
-    sums: np.ndarray
-    sample_counts: np.ndarray
-    elapsed_seconds: float
-    api_calls: Optional[int] = None
-    unreachable: Tuple[int, ...] = field(default_factory=tuple)
-    chains: int = 1
 
-    @property
-    def concentrations(self) -> np.ndarray:
-        """Estimated concentrations c^_i (Eq. 5 / Eq. 8), catalog order.
-
-        Types unreachable under the chosen walk (alpha = 0) receive 0; the
-        estimate is then the relative concentration among reachable types
-        (paper footnote 3).
-        """
-        total = float(self.sums.sum())
-        if total <= 0:
-            return np.zeros_like(self.sums)
-        return self.sums / total
-
-    def concentration_dict(self) -> Dict[str, float]:
-        """Concentrations keyed by graphlet name."""
-        values = self.concentrations
-        return {g.name: float(values[g.index]) for g in graphlets(self.k)}
-
-    def counts(self, relationship_edges: int) -> np.ndarray:
-        """Estimated absolute counts C^_i (Eq. 4 / Eq. 7).
-
-        Requires |R(d)| (closed forms exist for d <= 2, see
-        :func:`repro.relgraph.relationship_edge_count`).
-        """
-        if self.steps <= 0:
-            raise ValueError("no steps taken")
-        return 2.0 * relationship_edges * self.sums / self.steps
-
-    def concentration_of(self, name: str) -> float:
-        """Concentration of a graphlet selected by catalog name."""
-        return self.concentration_dict()[name]
+def _srw_meta(spec: MethodSpec, alphas, graph, chains: int = 1) -> Dict:
+    """Method metadata shared by every SRW-family estimate."""
+    return {
+        "d": spec.d,
+        "css": spec.css,
+        "nb": spec.nb,
+        "chains": chains,
+        "unreachable": tuple(i for i, a in enumerate(alphas) if a == 0),
+        "api_calls": getattr(graph, "api_calls", None),
+    }
 
 
 def run_estimation(
@@ -163,7 +142,7 @@ def run_estimation(
     seed_node: int = 0,
     burn_in: int = 0,
     chains: int = 1,
-) -> EstimationResult:
+) -> Estimate:
     """Algorithm 1: estimate k-node graphlet statistics with ``steps``
     random-walk transitions.
 
@@ -225,7 +204,7 @@ def _run_walk(
     rng: Optional[random.Random] = None,
     seed_node: int = 0,
     burn_in: int = 0,
-) -> List[EstimationResult]:
+) -> List[Estimate]:
     """Shared walk loop; snapshots the running sums at each checkpoint
     (ascending, the last one being the total step count)."""
     if not checkpoints or checkpoints != sorted(set(checkpoints)):
@@ -268,20 +247,18 @@ def _run_walk(
 
     valid_samples = 0
     checkpoint_set = set(checkpoints)
-    snapshots: List[EstimationResult] = []
+    snapshots: List[Estimate] = []
 
-    def snapshot(at_step: int) -> EstimationResult:
-        return EstimationResult(
-            k=k,
+    def snapshot(at_step: int) -> Estimate:
+        return Estimate(
             method=spec.name,
-            d=d,
+            k=k,
             steps=at_step,
-            valid_samples=valid_samples,
+            samples=valid_samples,
             sums=sums.copy(),
             sample_counts=sample_counts.copy(),
             elapsed_seconds=time.perf_counter() - start_time,
-            api_calls=getattr(graph, "api_calls", None),
-            unreachable=tuple(i for i, a in enumerate(alphas) if a == 0),
+            meta=_srw_meta(spec, alphas, graph),
         )
 
     neighbor_set = graph.neighbor_set
@@ -630,7 +607,7 @@ def _run_multichain(
     rng: Optional[random.Random] = None,
     seed_node: int = 0,
     burn_in: int = 0,
-) -> EstimationResult:
+) -> Estimate:
     """Pooled estimation over ``chains`` independent walks.
 
     The total budget is split as evenly as possible (the first
@@ -650,6 +627,7 @@ def _run_multichain(
     alphas = alpha_table(k, d)
     start_time = time.perf_counter()
 
+    stderr = None
     if batch_capable(graph, d):
         engine = make_engine(
             graph,
@@ -678,17 +656,185 @@ def _run_multichain(
         sums = np.sum([r.sums for r in chain_results], axis=0)
         sample_counts = np.sum([r.sample_counts for r in chain_results], axis=0)
         valid_samples = sum(r.valid_samples for r in chain_results)
+        stderr = _between_chain_stderr([r.sums for r in chain_results])
 
-    return EstimationResult(
-        k=k,
+    return Estimate(
         method=spec.name,
-        d=d,
+        k=k,
         steps=sum(budgets),
-        valid_samples=valid_samples,
+        samples=valid_samples,
         sums=np.asarray(sums),
         sample_counts=np.asarray(sample_counts),
+        stderr=stderr,
         elapsed_seconds=time.perf_counter() - start_time,
-        api_calls=getattr(graph, "api_calls", None),
-        unreachable=tuple(i for i, a in enumerate(alphas) if a == 0),
-        chains=chains,
+        meta=_srw_meta(spec, alphas, graph, chains=chains),
     )
+
+
+class SRWSession(Session):
+    """Streaming run of one ``SRW{d}[CSS][NB]`` method.
+
+    The session feeds each chain's walker through a
+    :class:`_ChainAccumulator` — exactly the accumulation of
+    :func:`_run_walk` — so with ``chains=1`` a fixed seed yields sums
+    bit-identical to :func:`run_estimation`, and a mid-run
+    ``snapshot()`` after ``t`` counted transitions equals a fresh
+    ``budget=t`` run of the same seed (streaming/batch parity).  With
+    ``chains=B`` the total budget is split like
+    :func:`_run_multichain` and the chains advance round-robin; pooled
+    snapshots additionally carry a between-chain standard error.
+
+    One fast path: calling ``result()`` on a session that has not been
+    streamed at all (no prior ``step``/``snapshot``) delegates whole to
+    :func:`run_estimation`, so batch-capable backends keep their
+    vectorized multi-chain kernels — and a one-shot
+    ``repro.estimate(..., backend="csr", chains=B)`` is bit-identical
+    to the pre-registry entry point.  Once streaming has started, the
+    run stays on the serial per-chain path.
+    """
+
+    def __init__(
+        self,
+        graph,
+        spec: MethodSpec,
+        budget: int,
+        rng: Optional[random.Random] = None,
+        seed_node: int = 0,
+        burn_in: int = 0,
+        chains: int = 1,
+    ) -> None:
+        super().__init__(budget)
+        if chains < 1:
+            raise ValueError(f"chains must be >= 1, got {chains}")
+        if budget < chains:
+            raise ValueError(
+                f"need at least one transition per chain: budget={budget} < chains={chains}"
+            )
+        self.graph = graph
+        self.spec = spec
+        self._rng = rng if rng is not None else random.Random()
+        self._seed_node = seed_node
+        self._burn_in = burn_in
+        self._chains = chains
+        self._alphas = alpha_table(spec.k, spec.d)
+        # Chains are built lazily on the first streaming step, so an
+        # unstreamed result() can hand the untouched rng to the (possibly
+        # vectorized) batch runner.
+        self._walkers: List = []
+        self._accumulators: List[_ChainAccumulator] = []
+        self._cursor = 0
+        self._delegated: Optional[Estimate] = None
+
+    def _ensure_chains(self) -> None:
+        if self._accumulators:
+            return
+        graph, spec, chains = self.graph, self.spec, self._chains
+        space = walk_space(spec.d)
+        effective_degree = _effective_degree_fn(graph, space, spec)
+        budget = self.budget
+        budgets = [
+            budget // chains + (1 if b < budget % chains else 0) for b in range(chains)
+        ]
+        # One rng per chain, derived exactly like the serial multichain
+        # runner (chains=1 keeps the caller's rng: bit-parity with
+        # run_estimation).
+        if chains == 1:
+            chain_rngs = [self._rng]
+        else:
+            chain_rngs = [
+                random.Random(self._rng.randrange(2**63)) for _ in range(chains)
+            ]
+        for chain_rng, chain_budget in zip(chain_rngs, budgets):
+            walker = make_walk(
+                graph, space, non_backtracking=spec.nb, rng=chain_rng,
+                seed_node=self._seed_node,
+            )
+            accumulator = _ChainAccumulator(
+                graph, spec, self._alphas, effective_degree, chain_budget,
+                self._burn_in,
+            )
+            accumulator.push(walker.state)
+            self._walkers.append(walker)
+            self._accumulators.append(accumulator)
+
+    def result(self) -> Estimate:
+        if self._delegated is not None:
+            return self._delegated
+        if self._consumed == 0 and not self._accumulators:
+            # Nothing streamed yet: run the whole budget through the
+            # standard runner (vectorized on batch-capable backends).
+            estimate = run_estimation(
+                self.graph,
+                self.spec,
+                self.budget,
+                rng=self._rng,
+                seed_node=self._seed_node,
+                burn_in=self._burn_in,
+                chains=self._chains,
+            )
+            self._consumed = self.budget
+            self._elapsed = estimate.elapsed_seconds
+            self._delegated = estimate
+            return estimate
+        return super().result()
+
+    def _advance(self, n: int) -> None:
+        self._ensure_chains()
+        walkers, accumulators = self._walkers, self._accumulators
+        chains = len(accumulators)
+        cursor = self._cursor
+        remaining = n
+        while remaining > 0:
+            accumulator = accumulators[cursor % chains]
+            if accumulator.done:
+                cursor += 1
+                continue
+            walker = walkers[cursor % chains]
+            before = accumulator.steps_done
+            # One counted transition; pushes during burn-in/window fill
+            # do not increment steps_done and keep the loop going.
+            while accumulator.steps_done == before:
+                accumulator.push(walker.step())
+            cursor += 1
+            remaining -= 1
+        self._cursor = cursor
+
+    def snapshot(self) -> Estimate:
+        if self._delegated is not None:
+            return self._delegated
+        if not self._accumulators and self._consumed == 0:
+            # Before the first step: an all-zero partial estimate, without
+            # touching the rng (keeps the unstreamed result() fast path).
+            num_types = len(self._alphas)
+            return Estimate(
+                method=self.spec.name,
+                k=self.spec.k,
+                steps=0,
+                samples=0,
+                sums=np.zeros(num_types),
+                sample_counts=np.zeros(num_types, dtype=np.int64),
+                elapsed_seconds=self._elapsed,
+                meta=_srw_meta(self.spec, self._alphas, self.graph, chains=self._chains),
+            )
+        accumulators = self._accumulators
+        sums = np.sum([a.sums for a in accumulators], axis=0)
+        sample_counts = np.sum([a.sample_counts for a in accumulators], axis=0)
+        valid_samples = sum(a.valid_samples for a in accumulators)
+        stderr = _between_chain_stderr([a.sums for a in accumulators])
+        return Estimate(
+            method=self.spec.name,
+            k=self.spec.k,
+            steps=self.consumed,
+            samples=valid_samples,
+            sums=np.asarray(sums, dtype=np.float64),
+            sample_counts=np.asarray(sample_counts, dtype=np.int64),
+            stderr=stderr,
+            elapsed_seconds=self._elapsed,
+            meta=_srw_meta(self.spec, self._alphas, self.graph, chains=len(accumulators)),
+        )
+
+
+def __getattr__(name: str):
+    if name == "EstimationResult":
+        return deprecated_result_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,7 +20,8 @@ import numpy as np
 from ..graphlets.catalog import graphlets
 from ..graphs.csr import as_backend
 from ..relgraph.construct import relationship_edge_count
-from .estimator import EstimationResult, MethodSpec, run_estimation
+from .estimator import MethodSpec, run_estimation
+from .result import Estimate
 
 
 def recommended_method(k: int) -> str:
@@ -66,19 +67,25 @@ class GraphletEstimator:
         backend: Optional[str] = None,
         chains: int = 1,
     ) -> None:
-        self.graph = graph if backend is None else as_backend(graph, backend)
+        self.graph = (
+            graph
+            if backend is None
+            else as_backend(
+                graph, backend, context=f"GraphletEstimator(backend={backend!r})"
+            )
+        )
         self.spec = MethodSpec.parse(method or recommended_method(k), k)
         self.rng = random.Random(seed)
         self.seed_node = seed_node
         self.chains = chains
-        self.last_result: Optional[EstimationResult] = None
+        self.last_result: Optional[Estimate] = None
 
     @property
     def method(self) -> str:
         """Resolved method name."""
         return self.spec.name
 
-    def run(self, steps: int, burn_in: int = 0) -> EstimationResult:
+    def run(self, steps: int, burn_in: int = 0) -> Estimate:
         """Run the walk(s) for ``steps`` total transitions and estimate."""
         result = run_estimation(
             self.graph,
@@ -143,6 +150,6 @@ def estimate_counts(
     return {g.name: float(counts[g.index]) for g in graphlets(k)}
 
 
-def concentration_array(result: EstimationResult) -> np.ndarray:
+def concentration_array(result: Estimate) -> np.ndarray:
     """Concentrations of a result as a catalog-ordered array."""
     return result.concentrations

@@ -28,8 +28,8 @@ from ..relgraph.spaces import walk_space
 from ..walks.walkers import make_walk
 from .alpha import alpha_table
 from .css import sampling_weight
-from .estimator import EstimationResult
 from .expanded_chain import nominal_degree
+from .result import Estimate
 
 
 def run_joint_estimation(
@@ -41,7 +41,7 @@ def run_joint_estimation(
     nb: bool = False,
     rng: Optional[random.Random] = None,
     seed_node: int = 0,
-) -> Dict[int, EstimationResult]:
+) -> Dict[int, Estimate]:
     """Estimate graphlet statistics for several sizes from one walk on G(d).
 
     Parameters
@@ -55,8 +55,8 @@ def run_joint_estimation(
 
     Returns
     -------
-    dict k -> EstimationResult, each carrying the method name
-    ``SRW{d}[CSS][NB]`` and the shared step count.
+    dict k -> :class:`~repro.core.result.Estimate`, each carrying the
+    method name ``SRW{d}[CSS][NB]`` and the shared step count.
     """
     sizes = sorted(set(ks))
     if not sizes:
@@ -139,17 +139,22 @@ def run_joint_estimation(
     elapsed = time.perf_counter() - start_time
     method = f"SRW{d}" + ("CSS" if css else "") + ("NB" if nb else "")
     return {
-        k: EstimationResult(
-            k=k,
+        k: Estimate(
             method=method,
-            d=d,
+            k=k,
             steps=steps,
-            valid_samples=valid[k],
+            samples=valid[k],
             sums=sums[k],
             sample_counts=sample_counts[k],
             elapsed_seconds=elapsed,
-            api_calls=getattr(graph, "api_calls", None),
-            unreachable=tuple(i for i, a in enumerate(alphas[k]) if a == 0),
+            meta={
+                "d": d,
+                "css": css,
+                "nb": nb,
+                "chains": 1,
+                "unreachable": tuple(i for i, a in enumerate(alphas[k]) if a == 0),
+                "api_calls": getattr(graph, "api_calls", None),
+            },
         )
         for k in sizes
     }

@@ -1,0 +1,167 @@
+"""The streaming estimator protocol: config, sessions, estimators.
+
+Every estimation method is exposed through the same three-piece surface:
+
+* an :class:`Estimator` — a stateless factory whose
+  ``prepare(graph, config)`` binds a method to a graph and budget;
+* a :class:`Session` — one streaming run: ``step(n)`` advances up to
+  ``n`` budget units, ``snapshot()`` reads the current estimate without
+  disturbing the stream, ``result()`` consumes the remaining budget and
+  returns the final :class:`~repro.core.result.Estimate`;
+* a declarative :class:`EstimationConfig` naming the method, graphlet
+  size, budget and seeds.
+
+The central registry lives in :mod:`repro.estimators`; anything that
+iterates estimators generically (``evaluation/runner.py``, checkpointed
+convergence studies, the CLI) drives them through this interface, so a
+new method is one ``register()`` call away from every harness.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+from .result import Estimate
+
+
+@dataclass
+class EstimationConfig:
+    """Declarative description of one estimation run.
+
+    Parameters
+    ----------
+    method:
+        Registry name (``"srw2css"``, ``"guise"``, ``"exact"``, …) or any
+        paper-grammar ``SRW{d}[CSS][NB]`` string.
+    k:
+        Graphlet size; ``None`` lets the estimator pick its default
+        (3 for the triadic baselines, 4 for 3-path sampling, …).
+    budget:
+        Total budget units: walk transitions, MH proposals, or i.i.d.
+        sample draws, depending on the method.
+    seed:
+        RNG seed (``None`` for nondeterministic).
+    seed_node:
+        Walk/crawl starting node, where applicable.
+    backend:
+        Storage backend conversion applied before the run (``None`` keeps
+        the graph as passed; see :func:`repro.graphs.as_backend`).
+    chains:
+        Independent chains the budget is split over (SRW family).
+    burn_in:
+        Discarded transitions per chain before sampling starts.
+    options:
+        Method-specific extras, passed through to the estimator.
+    """
+
+    method: str
+    k: Optional[int] = None
+    budget: int = 20_000
+    seed: Optional[int] = None
+    seed_node: int = 0
+    backend: Optional[str] = None
+    chains: int = 1
+    burn_in: int = 0
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.chains < 1:
+            raise ValueError(f"chains must be >= 1, got {self.chains}")
+        if self.burn_in < 0:
+            raise ValueError(f"burn_in must be >= 0, got {self.burn_in}")
+
+
+class Session(ABC):
+    """One streaming estimation run (produced by ``Estimator.prepare``).
+
+    Subclasses implement ``_advance(n)`` (consume exactly ``n`` budget
+    units) and ``snapshot()``; the base class keeps the budget and timing
+    bookkeeping so ``step``/``result`` behave identically across methods.
+    Snapshots along one session share the underlying walk — they are
+    *nested*, not independent (use fresh sessions when independence
+    matters).
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self._budget = int(budget)
+        self._consumed = 0
+        self._elapsed = 0.0
+
+    @property
+    def budget(self) -> int:
+        """Total budget units this session may consume."""
+        return self._budget
+
+    @property
+    def consumed(self) -> int:
+        """Budget units consumed so far."""
+        return self._consumed
+
+    @property
+    def remaining(self) -> int:
+        """Budget units left."""
+        return self._budget - self._consumed
+
+    @property
+    def done(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self._consumed >= self._budget
+
+    def step(self, n: Optional[int] = None) -> int:
+        """Advance by up to ``n`` budget units (all remaining if None).
+
+        Returns the number of units actually consumed (0 when done).
+        """
+        if n is None:
+            n = self.remaining
+        elif n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        n = min(n, self.remaining)
+        if n == 0:
+            return 0
+        start = time.perf_counter()
+        self._advance(n)
+        self._elapsed += time.perf_counter() - start
+        self._consumed += n
+        return n
+
+    def result(self) -> Estimate:
+        """Consume the remaining budget and return the final estimate."""
+        self.step()
+        return self.snapshot()
+
+    @abstractmethod
+    def _advance(self, n: int) -> None:
+        """Consume exactly ``n`` budget units."""
+
+    @abstractmethod
+    def snapshot(self) -> Estimate:
+        """Current estimate from everything consumed so far.
+
+        Must be safe to call at any point (including before the first
+        ``step``) and must not disturb the stream; returned arrays are
+        copies.
+        """
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """A registrable estimation method.
+
+    Implementations are cheap, stateless factories; all per-run state
+    lives in the :class:`Session` returned by :meth:`prepare`.
+    """
+
+    #: Canonical registry name.
+    name: str
+
+    def prepare(self, graph, config: EstimationConfig) -> Session:
+        """Bind the method to ``graph`` under ``config``; validate k."""
+        ...

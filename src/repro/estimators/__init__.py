@@ -1,0 +1,97 @@
+"""Unified estimator surface: one protocol, one result type, a registry.
+
+Every estimation method in the library — the paper's ``SRW{d}[CSS][NB]``
+framework, PSRW/SRW, GUISE, wedge sampling, wedge-MHRW, 3-path sampling,
+Hardiman–Katzir, and exact enumeration as the oracle — implements the
+same protocol:
+
+    estimator = repro.estimators.get("srw2css")
+    session   = estimator.prepare(graph, EstimationConfig(
+        method="srw2css", k=4, budget=100_000, seed=7))
+    session.step(10_000)         # stream part of the budget
+    partial = session.snapshot() # useful partial result, any time
+    final   = session.result()   # consume the rest
+
+and returns the unified :class:`~repro.core.result.Estimate`.  The
+:func:`estimate` one-liner covers the common case::
+
+    est = repro.estimate(graph, "srw2css", k=4, budget=100_000, seed=7)
+    est.concentration_dict()
+
+New methods join every harness (evaluation runner, checkpoint sweeps,
+``repro estimate`` / ``repro compare`` on the CLI) with a single
+:func:`register` call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.result import Estimate
+from ..core.session import EstimationConfig, Estimator, Session
+from ..graphs.csr import as_backend
+from . import adapters  # noqa: F401  (populates the registry on import)
+from .adapters import register_builtin_estimators
+from .registry import available, get, normalize, register, unregister
+
+__all__ = [
+    "Estimate",
+    "EstimationConfig",
+    "Estimator",
+    "Session",
+    "available",
+    "estimate",
+    "get",
+    "normalize",
+    "prepare",
+    "register",
+    "register_builtin_estimators",
+    "unregister",
+]
+
+
+def prepare(graph, config: EstimationConfig) -> Session:
+    """Resolve ``config.method``, apply ``config.backend``, open a session."""
+    estimator = get(config.method)
+    if config.backend is not None:
+        graph = as_backend(
+            graph,
+            config.backend,
+            context=(
+                f"estimate(method={config.method!r}, backend={config.backend!r})"
+            ),
+        )
+    return estimator.prepare(graph, config)
+
+
+def estimate(
+    graph,
+    method: str,
+    k: Optional[int] = None,
+    budget: int = 20_000,
+    seed: Optional[int] = None,
+    seed_node: int = 0,
+    backend: Optional[str] = None,
+    chains: int = 1,
+    burn_in: int = 0,
+) -> Estimate:
+    """One-shot estimation with any registered method.
+
+    ``repro.estimate(graph, "srw2css", k=4, budget=100_000, seed=7)``
+    is the whole API: the method name resolves through the registry, the
+    budget streams through the method's session, and the unified
+    :class:`~repro.core.result.Estimate` comes back.  Fixed-seed runs of
+    the framework methods are bit-identical to
+    :func:`repro.core.run_estimation` with ``rng=random.Random(seed)``.
+    """
+    config = EstimationConfig(
+        method=method,
+        k=k,
+        budget=budget,
+        seed=seed,
+        seed_node=seed_node,
+        backend=backend,
+        chains=chains,
+        burn_in=burn_in,
+    )
+    return prepare(graph, config).result()

@@ -1,0 +1,68 @@
+"""Central estimator registry: ``register`` / ``get`` / ``available``.
+
+Names are case-insensitive and treat ``-`` and ``_`` alike, so
+``"SRW2CSS"``, ``"srw2css"``, ``"wedge-mhrw"`` and ``"wedge_mhrw"`` all
+resolve.  Any paper-grammar ``SRW{d}[CSS][NB]`` string works even when
+not pre-registered (``get`` synthesizes the adapter), so the grammar
+stays open-ended while ``available()`` remains a finite, runnable list.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from ..core.session import Estimator
+
+_REGISTRY: Dict[str, Estimator] = {}
+
+_SRW_GRAMMAR = re.compile(r"^srw\d+(css)?(nb)?$")
+
+
+def normalize(name: str) -> str:
+    """Canonical registry key for a method name."""
+    return str(name).strip().lower().replace("-", "_")
+
+
+def register(name: str, estimator: Estimator, overwrite: bool = False) -> Estimator:
+    """Register ``estimator`` under ``name``; returns the estimator.
+
+    Adding a new method to every harness (``repro.estimate``, the
+    evaluation runner, checkpointed sweeps, ``repro estimate`` /
+    ``repro compare`` on the CLI) is exactly this one call.
+    """
+    key = normalize(name)
+    if not overwrite and key in _REGISTRY:
+        raise ValueError(f"estimator {name!r} is already registered")
+    if not hasattr(estimator, "prepare"):
+        raise TypeError(f"estimator {name!r} lacks a prepare(graph, config) method")
+    _REGISTRY[key] = estimator
+    return estimator
+
+
+def unregister(name: str) -> None:
+    """Remove a registered estimator (mainly for tests)."""
+    _REGISTRY.pop(normalize(name), None)
+
+
+def get(name: str) -> Estimator:
+    """Look up an estimator by name (SRW grammar synthesized on demand)."""
+    key = normalize(name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        pass
+    if _SRW_GRAMMAR.match(key):
+        # Open grammar: e.g. "srw4nb" is valid without pre-registration.
+        from .adapters import SRWEstimator
+
+        return SRWEstimator(key)
+    raise KeyError(
+        f"unknown estimation method {name!r}; registered methods: "
+        f"{', '.join(available())} (plus any SRW{{d}}[CSS][NB] string)"
+    )
+
+
+def available() -> Tuple[str, ...]:
+    """Sorted names of every registered estimator."""
+    return tuple(sorted(_REGISTRY))

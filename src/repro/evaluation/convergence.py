@@ -1,4 +1,9 @@
-"""Convergence studies: NRMSE as a function of walk steps (Figure 6)."""
+"""Convergence studies: NRMSE as a function of budget (Figure 6).
+
+``methods`` accepts any registry name — framework grammar strings and
+baselines alike — since the underlying :func:`run_trials` drives every
+estimator through the streaming session protocol.
+"""
 
 from __future__ import annotations
 

@@ -19,11 +19,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..core.estimator import EstimationResult
+from ..core.result import Estimate
 
 
 def concentration_trajectory(
-    snapshots: Sequence[EstimationResult], graphlet_index: int
+    snapshots: Sequence[Estimate], graphlet_index: int
 ) -> List[float]:
     """Per-checkpoint concentration estimates for one type."""
     if not snapshots:
@@ -32,7 +32,7 @@ def concentration_trajectory(
 
 
 def batch_increments(
-    snapshots: Sequence[EstimationResult], graphlet_index: int
+    snapshots: Sequence[Estimate], graphlet_index: int
 ) -> List[float]:
     """Per-batch concentration estimates from consecutive snapshots.
 
@@ -51,7 +51,7 @@ def batch_increments(
 
 
 def batch_means_standard_error(
-    snapshots: Sequence[EstimationResult], graphlet_index: int
+    snapshots: Sequence[Estimate], graphlet_index: int
 ) -> float:
     """Batch-means standard error of the final concentration estimate.
 

@@ -1,10 +1,15 @@
-"""Multi-trial experiment runners.
+"""Multi-trial experiment runners — for *any* registered estimator.
 
 The paper estimates NRMSE over up to 1,000 independent simulations
 (§6.2.1).  :func:`run_trials` repeats an estimation method with distinct
 seeds and collects the per-type concentration estimates;
 :func:`nrmse_table` reduces those to NRMSE against exact ground truth —
 the quantity plotted in Figures 4, 6, 7 and 8.
+
+Methods are named by registry string (``"SRW1CSSNB"``, ``"guise"``,
+``"wedge_mhrw"``, ``"exact"``, …) and driven through the streaming
+session protocol, so framework methods and baselines share one harness
+and one result table — no per-method branches.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.estimator import EstimationResult, MethodSpec, run_estimation
+from ..core.session import EstimationConfig
+from ..estimators import get as get_estimator
 from ..exact import exact_concentrations_cached
 from ..graphlets.catalog import graphlets
 from ..graphs.graph import Graph
@@ -59,24 +65,30 @@ def run_trials(
 ) -> TrialSummary:
     """Repeat one method ``trials`` times with seeds ``base_seed + t``.
 
-    ``start_nodes`` optionally randomizes the walk's starting point per
-    trial (the paper starts each simulation independently).
+    ``method`` is any registry name (framework grammar or baseline);
+    every trial streams through the method's session.  ``start_nodes``
+    optionally randomizes the walk's starting point per trial (the paper
+    starts each simulation independently).
     """
-    spec = MethodSpec.parse(method, k)
+    estimator = get_estimator(method)
     num_types = len(graphlets(k))
     estimates = np.zeros((trials, num_types))
     elapsed = 0.0
     valid = 0.0
+    resolved_method = method
     for t in range(trials):
-        rng = random.Random(base_seed + t)
         node = start_nodes[t % len(start_nodes)] if start_nodes else seed_node
-        result = run_estimation(graph, spec, steps, rng=rng, seed_node=node)
+        config = EstimationConfig(
+            method=method, k=k, budget=steps, seed=base_seed + t, seed_node=node
+        )
+        result = estimator.prepare(graph, config).result()
         estimates[t] = result.concentrations
         elapsed += result.elapsed_seconds
-        valid += result.valid_samples
+        valid += result.samples
+        resolved_method = result.method
     return TrialSummary(
         k=k,
-        method=spec.name,
+        method=resolved_method,
         steps=steps,
         trials=trials,
         estimates=estimates,
@@ -102,7 +114,11 @@ def nrmse_table(
     truth: Optional[Dict[int, float]] = None,
     base_seed: int = 0,
 ) -> Dict[str, float]:
-    """NRMSE of one graphlet type for several methods — one Figure 4 group."""
+    """NRMSE of one graphlet type for several methods — one Figure 4 group.
+
+    ``methods`` may mix framework methods and baselines (one table spans
+    both, the Figures 7/8 layout).
+    """
     if truth is None:
         truth = exact_concentrations_cached(graph, k)
     starts = random_start_nodes(graph, trials, seed=base_seed)
@@ -120,5 +136,5 @@ def run_custom_trials(
     trials: int,
 ) -> np.ndarray:
     """Collect scalar estimates from an arbitrary seeded estimator callable
-    (used for baseline methods that do not return EstimationResult)."""
+    (for scalar studies that target a single derived statistic)."""
     return np.array([estimator(t) for t in range(trials)], dtype=float)

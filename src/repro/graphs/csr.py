@@ -94,8 +94,8 @@ class CSRGraph:
         if not hasattr(graph, "degrees"):
             raise GraphError(
                 f"cannot build a CSRGraph from {type(graph).__name__}: full "
-                "adjacency access is required (a RestrictedGraph only exposes "
-                "crawled neighborhoods — convert its underlying graph instead)"
+                "adjacency access is required, but a RestrictedGraph only "
+                "exposes crawled neighborhoods"
             )
         degrees = np.asarray(graph.degrees(), dtype=np.int64)
         indptr = np.zeros(graph.num_nodes + 1, dtype=np.int64)
@@ -311,15 +311,28 @@ class CSRGraph:
 BACKENDS = ("list", "csr")
 
 
-def as_backend(graph, backend: str):
+def as_backend(graph, backend: str, context: Optional[str] = None):
     """Convert ``graph`` to the named storage backend.
 
     ``"list"`` is the seed :class:`Graph` (lists + sets); ``"csr"`` is
     :class:`CSRGraph`.  A graph already in the requested backend is
-    returned unchanged.
+    returned unchanged.  ``context`` names the call site requesting the
+    conversion so failures (e.g. a :class:`RestrictedGraph` asked to
+    become CSR) point at the flag to change rather than at library
+    internals.
     """
     if backend == "list":
         return graph.to_graph() if isinstance(graph, CSRGraph) else graph
     if backend == "csr":
-        return CSRGraph.from_graph(graph) if not isinstance(graph, CSRGraph) else graph
+        if isinstance(graph, CSRGraph):
+            return graph
+        try:
+            return CSRGraph.from_graph(graph)
+        except GraphError as exc:
+            site = context or 'as_backend(graph, "csr")'
+            raise GraphError(
+                f"{site}: {exc}. Pass backend=\"list\" (or omit the backend) "
+                "to keep the crawl-access wrapper as-is, or convert the "
+                "underlying full-access graph to CSR before wrapping it"
+            ) from None
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -193,8 +193,14 @@ class TestGuise:
     def test_triad_concentration_converges(self, karate):
         truth = exact_concentrations(karate, 3)
         result = guise(karate, 15_000, seed=3)
-        estimate = result.concentrations(3)
+        estimate = result.concentration_dict()
         assert abs(estimate["triangle"] - truth[1]) < 0.25 * truth[1] + 0.02
+
+    def test_four_node_concentrations(self, karate):
+        result = guise(karate, 10_000, seed=7, k=4)
+        estimate = result.concentration_dict()
+        assert result.k == 4
+        assert abs(sum(estimate.values()) - 1.0) < 1e-9
 
     def test_rejection_rate_reported(self, karate):
         result = guise(karate, 2_000, seed=4)

@@ -83,3 +83,45 @@ class TestCommands:
         write_edge_list(load_dataset("karate"), path)
         assert main(["summarize", "--edge-list", str(path)]) == 0
         assert "34" in capsys.readouterr().out
+
+
+class TestRegistryDrivenCommands:
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("srw2css", "guise", "wedge_mhrw", "path_sampling", "exact"):
+            assert name in out
+
+    def test_estimate_baseline_method(self, capsys):
+        assert main(
+            ["estimate", "--dataset", "karate", "-k", "3",
+             "--method", "guise", "--steps", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "guise" in out and "triangle" in out
+
+    def test_estimate_unknown_method_errors(self, capsys):
+        assert main(
+            ["estimate", "--dataset", "karate", "-k", "3", "--method", "magic"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "magic" in err and "guise" in err  # lists what IS available
+
+    def test_estimate_incompatible_k_errors(self, capsys):
+        assert main(
+            ["estimate", "--dataset", "karate", "-k", "4", "--method", "wedge"]
+        ) == 2
+        assert "supports k in" in capsys.readouterr().err
+
+    def test_compare_spans_framework_and_baselines(self, capsys):
+        assert main(
+            [
+                "compare", "--dataset", "karate", "-k", "3",
+                "--steps", "800", "--trials", "2",
+                "--methods", "SRW1,wedge,hardiman_katzir,exact",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("SRW1", "wedge", "hardiman_katzir", "exact"):
+            assert name in out
+        assert "NRMSE" in out

@@ -9,7 +9,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.core.estimator import EstimationResult, MethodSpec, run_estimation
+from repro.core.estimator import MethodSpec, run_estimation
 from repro.exact import exact_concentrations, exact_counts
 from repro.graphlets import graphlet_by_name, graphlets
 from repro.graphs import RestrictedGraph, load_dataset
