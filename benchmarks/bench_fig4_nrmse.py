@@ -8,80 +8,81 @@ headline claims:
 
 * optimization techniques help: SRW1CSS(NB) beats plain SRW1 for g32, and
 * smaller d wins: SRW2(CSS) beats PSRW (= SRW3 for k=4) for g46.
+
+The sweeps are the declarative ``fig4`` suite (`repro bench --suite
+fig4` runs the same specs from the CLI); the engine keeps the historical
+``base_seed + t`` seed stream, so the numbers match the pre-engine
+runs bit for bit.  Set BENCH_JOBS=N to fan trials over N processes.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+import dataclasses
 
-from repro.evaluation import format_table, nrmse_table
-from repro.exact import exact_concentrations_cached as exact_concentrations
-from repro.graphlets import graphlet_by_name
-from repro.graphs import load_dataset
+from conftest import bench_jobs, emit
 
-STEPS = 4_000
-TRIALS = 24
+from repro.evaluation import format_table
+from repro.experiments import get_suite, run_experiment
+
+
+def run_group(prefix):
+    """Run every fig4 spec whose name starts with ``prefix``."""
+    results = {}
+    for spec in get_suite("fig4"):
+        if not spec.name.startswith(prefix):
+            continue
+        result = run_experiment(spec, jobs=bench_jobs())
+        dataset = spec.graph.partition(":")[2]
+        results[dataset] = (spec, {m: result.nrmse(m) for m in spec.methods})
+    return results
 
 
 def test_fig4a_triangle_nrmse(benchmark):
-    methods = ["SRW1", "SRW1CSS", "SRW1CSSNB", "SRW2", "SRW2NB"]
-    results = {}
-    for name in ("brightkite-like", "slashdot-like"):
-        graph = load_dataset(name)
-        results[name] = nrmse_table(
-            graph, 3, methods, steps=STEPS, trials=TRIALS,
-            target_index=1, base_seed=4,
-        )
+    results = run_group("fig4a")
+    spec = results["brightkite-like"][0]
+    methods = spec.methods
     rows = [
-        [name] + [results[name][m] for m in methods] for name in results
+        [name] + [table[m] for m in methods] for name, (_, table) in results.items()
     ]
     emit(
-        f"Figure 4a: NRMSE of c32 ({STEPS} steps, {TRIALS} trials)",
-        format_table(["dataset"] + methods, rows),
+        f"Figure 4a: NRMSE of c32 ({spec.budget} steps, {spec.trials} trials)",
+        format_table(["dataset"] + list(methods), rows),
     )
-    for name, table in results.items():
+    for name, (_, table) in results.items():
         best_optimized = min(table["SRW1CSS"], table["SRW1CSSNB"])
         assert best_optimized < table["SRW1"] * 1.05, name
     benchmark.extra_info["results"] = {
-        k: {m: round(v, 4) for m, v in t.items()} for k, t in results.items()
+        k: {m: round(v, 4) for m, v in t.items()} for k, (_, t) in results.items()
     }
-    graph = load_dataset("brightkite-like")
-    benchmark(
-        lambda: nrmse_table(
-            graph, 3, ["SRW1CSSNB"], steps=1_000, trials=4,
-            target_index=1, base_seed=5,
-        )
+    probe = dataclasses.replace(
+        spec, name="fig4a-probe", methods=("SRW1CSSNB",), budget=1_000,
+        trials=4, base_seed=5,
     )
+    benchmark(lambda: run_experiment(probe, jobs=1))
 
 
 def test_fig4b_four_clique_nrmse(benchmark):
-    methods = ["SRW2", "SRW2CSS", "SRW3"]
-    clique = graphlet_by_name(4, "clique").index
-    results = {}
-    for name in ("brightkite-like", "facebook-like"):
-        graph = load_dataset(name)
-        results[name] = nrmse_table(
-            graph, 4, methods, steps=STEPS, trials=TRIALS,
-            target_index=clique, base_seed=6,
-        )
-    rows = [[name] + [results[name][m] for m in methods] for name in results]
+    results = run_group("fig4b")
+    spec = next(iter(results.values()))[0]
+    methods = spec.methods
+    rows = [
+        [name] + [table[m] for m in methods] for name, (_, table) in results.items()
+    ]
     emit(
-        f"Figure 4b: NRMSE of c46 ({STEPS} steps, {TRIALS} trials)",
-        format_table(["dataset"] + methods, rows),
+        f"Figure 4b: NRMSE of c46 ({spec.budget} steps, {spec.trials} trials)",
+        format_table(["dataset"] + list(methods), rows),
     )
     # Smaller d beats PSRW; CSS helps over plain SRW2.
-    for name, table in results.items():
+    for name, (_, table) in results.items():
         assert table["SRW2CSS"] < table["SRW3"], name
     benchmark.extra_info["results"] = {
-        k: {m: round(v, 4) for m, v in t.items()} for k, t in results.items()
+        k: {m: round(v, 4) for m, v in t.items()} for k, (_, t) in results.items()
     }
-    graph = load_dataset("facebook-like")
-    benchmark(
-        lambda: nrmse_table(
-            graph, 4, ["SRW2CSS"], steps=1_000, trials=4,
-            target_index=clique, base_seed=7,
-        )
+    probe = dataclasses.replace(
+        spec, name="fig4b-probe", graph="dataset:facebook-like",
+        methods=("SRW2CSS",), budget=1_000, trials=4, base_seed=7,
     )
+    benchmark(lambda: run_experiment(probe, jobs=1))
 
 
 def test_fig4c_five_clique_nrmse(benchmark):
@@ -91,14 +92,9 @@ def test_fig4c_five_clique_nrmse(benchmark):
     of the paper's small datasets; on the synthetic tiny datasets 5-cliques
     are so rare (< 1e-5) that no method resolves them at bench budgets —
     exactly the Theorem 3 prediction."""
-    methods = ["SRW2", "SRW2CSS", "SRW3", "SRW4"]
-    clique = graphlet_by_name(5, "clique").index
-    graph = load_dataset("karate")
-    truth = exact_concentrations(graph, 5)
-    table = nrmse_table(
-        graph, 5, methods, steps=STEPS, trials=TRIALS,
-        target_index=clique, truth=truth, base_seed=8,
-    )
+    (spec,) = [s for s in get_suite("fig4") if s.name.startswith("fig4c")]
+    result = run_experiment(spec, jobs=bench_jobs())
+    table = {m: result.nrmse(m) for m in spec.methods}
     rows = [[m, v] for m, v in table.items()]
     emit(
         "Figure 4c: NRMSE of c521 (karate)",
@@ -107,9 +103,8 @@ def test_fig4c_five_clique_nrmse(benchmark):
     assert table["SRW2CSS"] < table["SRW3"]
     assert table["SRW2CSS"] < table["SRW4"]
     benchmark.extra_info["results"] = {m: round(v, 4) for m, v in table.items()}
-    benchmark(
-        lambda: nrmse_table(
-            graph, 5, ["SRW2CSS"], steps=800, trials=3,
-            target_index=clique, truth=truth, base_seed=9,
-        )
+    probe = dataclasses.replace(
+        spec, name="fig4c-probe", methods=("SRW2CSS",), budget=800,
+        trials=3, base_seed=9,
     )
+    benchmark(lambda: run_experiment(probe, jobs=1))

@@ -8,38 +8,37 @@ reference); Figure 5b shows the corresponding NRMSE.  The claims:
   chordal-cycle, clique), more so for smaller d;
 * NRMSE decreases with weighted concentration — rare graphlets are the
   main error source.
+
+The NRMSE sweep is the declarative ``fig5`` suite (`repro bench --suite
+fig5`); set BENCH_JOBS=N to fan trials over N processes.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import emit
+import dataclasses
+
+from conftest import bench_jobs, emit
 
 from repro.core.bounds import weighted_concentration
-from repro.evaluation import format_table, run_trials
+from repro.evaluation import format_table
 from repro.exact import exact_concentrations, exact_counts
+from repro.experiments import get_suite, run_experiment
 from repro.graphlets import graphlet_by_name, graphlets
 from repro.graphs import load_dataset
 
-DATASET = "epinion-like"  # the dataset Figure 5 uses
-STEPS = 4_000
-TRIALS = 20
-
 
 def test_fig5_weighted_concentration(benchmark):
-    graph = load_dataset(DATASET)
+    (spec,) = get_suite("fig5")
+    dataset = spec.graph.partition(":")[2]
+    graph = load_dataset(dataset)
     counts = exact_counts(graph, 4)
     truth = exact_concentrations(graph, 4)
     weighted = {
         d: weighted_concentration(graph, 4, d, counts=counts) for d in (2, 3)
     }
 
-    errors = {}
-    for method in ("SRW2", "SRW2CSS", "SRW3"):
-        summary = run_trials(
-            graph, 4, method, steps=STEPS, trials=TRIALS, base_seed=5
-        )
-        errors[method] = summary.nrmse_all(truth)
+    result = run_experiment(spec, jobs=bench_jobs())
+    errors = {method: result.nrmse_all(method) for method in spec.methods}
 
     rows = []
     for g in graphlets(4):
@@ -55,7 +54,7 @@ def test_fig5_weighted_concentration(benchmark):
             ]
         )
     emit(
-        f"Figure 5: weighted concentration and NRMSE on {DATASET}",
+        f"Figure 5: weighted concentration and NRMSE on {dataset}",
         format_table(
             [
                 "graphlet", "orig conc", "wconc SRW2", "wconc SRW3",
@@ -78,4 +77,7 @@ def test_fig5_weighted_concentration(benchmark):
     benchmark.extra_info["clique_weighted_srw2"] = round(weighted[2][clique], 5)
     benchmark.extra_info["clique_weighted_srw3"] = round(weighted[3][clique], 5)
 
-    benchmark(lambda: weighted_concentration(graph, 4, 2, counts=counts))
+    probe = dataclasses.replace(
+        spec, name="fig5-probe", methods=("SRW2",), budget=1_000, trials=4,
+    )
+    benchmark(lambda: run_experiment(probe, jobs=1))

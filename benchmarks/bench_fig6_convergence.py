@@ -6,90 +6,84 @@ The paper sweeps the sample size from 2K to 20K and plots NRMSE of the
 * estimates concentrate around the truth as steps grow (error shrinks),
 * the recommended methods (SRW1CSSNB for k=3, SRW2CSS for k=4) stay at or
   below their un-optimized counterparts along the curve.
+
+Each point of the curve is one declarative spec of the ``fig6`` suite
+(one spec per budget; `repro bench --suite fig6` runs the same sweep
+from the CLI).  Set BENCH_JOBS=N to fan trials over N processes.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+import dataclasses
 
-from repro.evaluation import convergence_sweep, format_table
-from repro.graphlets import graphlet_by_name
-from repro.graphs import load_dataset
+from conftest import bench_jobs, emit
 
-GRID = [1_000, 2_000, 4_000, 8_000]
-TRIALS = 16
+from repro.evaluation import format_table
+from repro.experiments import get_suite, run_experiment
 
 
-def render(curves, title):
-    rows = []
-    for curve in curves:
-        rows.append([curve.method] + [f"{e:.3f}" for e in curve.nrmse])
-    steps = curves[0].steps
-    emit(title, format_table(["method"] + [str(s) for s in steps], rows))
+def run_curves(prefix):
+    """NRMSE-vs-budget curves for the fig6 specs named ``prefix``-*."""
+    specs = sorted(
+        (s for s in get_suite("fig6") if s.name.startswith(prefix)),
+        key=lambda s: s.budget,
+    )
+    curves = {method: [] for method in specs[0].methods}
+    for spec in specs:
+        result = run_experiment(spec, jobs=bench_jobs())
+        for method in spec.methods:
+            curves[method].append(result.nrmse(method))
+    return [spec.budget for spec in specs], curves
+
+
+def render(grid, curves, title):
+    rows = [
+        [method] + [f"{e:.3f}" for e in errors] for method, errors in curves.items()
+    ]
+    emit(title, format_table(["method"] + [str(s) for s in grid], rows))
 
 
 def test_fig6a_triangle_convergence(benchmark):
-    graph = load_dataset("slashdot-like")
-    curves = convergence_sweep(
-        graph, 3, ["SRW1", "SRW1CSS", "SRW1CSSNB"], GRID,
-        trials=TRIALS, target_index=1, base_seed=6,
-    )
-    render(curves, "Figure 6a: NRMSE of c32 vs steps (slashdot-like)")
-    by_method = {c.method: c for c in curves}
-    for curve in curves:
-        assert curve.is_improving(), curve.method
+    grid, curves = run_curves("fig6a")
+    render(grid, curves, "Figure 6a: NRMSE of c32 vs steps (slashdot-like)")
+    for method, errors in curves.items():
+        assert errors[-1] < errors[0], method
     # Optimized variant at the largest budget beats plain SRW1.
-    assert by_method["SRW1CSSNB"].nrmse[-1] < by_method["SRW1"].nrmse[-1] * 1.1
+    assert curves["SRW1CSSNB"][-1] < curves["SRW1"][-1] * 1.1
     benchmark.extra_info["final_nrmse"] = {
-        c.method: round(c.nrmse[-1], 4) for c in curves
+        method: round(errors[-1], 4) for method, errors in curves.items()
     }
-    benchmark(
-        lambda: convergence_sweep(
-            graph, 3, ["SRW1CSS"], [500, 1_000], trials=4,
-            target_index=1, base_seed=7,
-        )
+    probe = dataclasses.replace(
+        get_suite("fig6")[0], name="fig6a-probe", methods=("SRW1CSS",),
+        budget=1_000, trials=4, base_seed=7,
     )
+    benchmark(lambda: run_experiment(probe, jobs=1))
 
 
 def test_fig6b_four_clique_convergence(benchmark):
-    graph = load_dataset("facebook-like")
-    clique = graphlet_by_name(4, "clique").index
-    curves = convergence_sweep(
-        graph, 4, ["SRW2", "SRW2CSS", "SRW3"], GRID,
-        trials=TRIALS, target_index=clique, base_seed=8,
-    )
-    render(curves, "Figure 6b: NRMSE of c46 vs steps (facebook-like)")
-    by_method = {c.method: c for c in curves}
-    for curve in curves:
-        assert curve.is_improving(), curve.method
-    assert by_method["SRW2CSS"].nrmse[-1] < by_method["SRW3"].nrmse[-1]
+    grid, curves = run_curves("fig6b")
+    render(grid, curves, "Figure 6b: NRMSE of c46 vs steps (facebook-like)")
+    for method, errors in curves.items():
+        assert errors[-1] < errors[0], method
+    assert curves["SRW2CSS"][-1] < curves["SRW3"][-1]
     benchmark.extra_info["final_nrmse"] = {
-        c.method: round(c.nrmse[-1], 4) for c in curves
+        method: round(errors[-1], 4) for method, errors in curves.items()
     }
-    benchmark(
-        lambda: convergence_sweep(
-            graph, 4, ["SRW2CSS"], [500, 1_000], trials=4,
-            target_index=clique, base_seed=9,
-        )
+    probe = dataclasses.replace(
+        [s for s in get_suite("fig6") if s.name.startswith("fig6b")][0],
+        name="fig6b-probe", methods=("SRW2CSS",), budget=1_000, trials=4,
+        base_seed=9,
     )
+    benchmark(lambda: run_experiment(probe, jobs=1))
 
 
 def test_fig6c_five_clique_convergence(benchmark):
-    graph = load_dataset("karate")
-    clique = graphlet_by_name(5, "clique").index
-    from repro.exact import exact_concentrations_cached as exact_concentrations
-
-    truth = exact_concentrations(graph, 5)
-    curves = convergence_sweep(
-        graph, 5, ["SRW2CSS"], [2_000, 16_000], trials=12,
-        target_index=clique, truth=truth, base_seed=10,
+    grid, curves = run_curves("fig6c")
+    render(grid, curves, "Figure 6c: NRMSE of c521 vs steps (karate)")
+    assert curves["SRW2CSS"][-1] < curves["SRW2CSS"][0]
+    benchmark.extra_info["final_nrmse"] = round(curves["SRW2CSS"][-1], 4)
+    probe = dataclasses.replace(
+        [s for s in get_suite("fig6") if s.name.startswith("fig6c")][0],
+        name="fig6c-probe", budget=1_000, trials=3, base_seed=11,
     )
-    render(curves, "Figure 6c: NRMSE of c521 vs steps (karate)")
-    assert curves[0].is_improving()
-    benchmark.extra_info["final_nrmse"] = round(curves[0].nrmse[-1], 4)
-    benchmark(
-        lambda: convergence_sweep(
-            graph, 5, ["SRW2CSS"], [1_000], trials=3,
-            target_index=clique, truth=truth, base_seed=11,
-        )
-    )
+    benchmark(lambda: run_experiment(probe, jobs=1))

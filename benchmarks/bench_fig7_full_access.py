@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 
-import numpy as np
 from conftest import emit
 
 from repro.baselines import path_sampling, wedge_sampling

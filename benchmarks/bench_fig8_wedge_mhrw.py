@@ -4,52 +4,41 @@ The paper adapts wedge sampling to restricted access (Algorithm 4) and
 shows SRW1CSSNB achieves much lower NRMSE at equal random-walk steps
 (Fig. 8a), that both converge (Fig. 8b), and that the adaptation costs 3
 API calls per step against the framework's 1.
+
+Figures 8a/8b run as the declarative ``fig8`` suite (`repro bench
+--suite fig8` from the CLI; both methods share one spec per
+dataset/budget since the registry drives them through the same session
+protocol).  The API-cost measurement stays a direct RestrictedGraph
+probe — it counts calls, not trials.  Set BENCH_JOBS=N to parallelize.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
-from conftest import emit
+from conftest import bench_jobs, emit
 
 from repro.baselines import wedge_mhrw
 from repro.core.estimator import MethodSpec, run_estimation
-from repro.evaluation import format_table, nrmse
-from repro.exact import exact_concentrations
+from repro.evaluation import format_table
+from repro.experiments import get_suite, run_experiment
 from repro.graphs import RestrictedGraph, load_dataset
-
-STEPS = 4_000
-TRIALS = 20
-
-
-def walk_estimates(graph, steps, trials, base_seed):
-    spec = MethodSpec.parse("SRW1CSSNB", 3)
-    values = []
-    for t in range(trials):
-        result = run_estimation(graph, spec, steps, rng=random.Random(base_seed + t))
-        values.append(float(result.concentrations[1]))
-    return values
-
-
-def mhrw_estimates(graph, steps, trials, base_seed):
-    return [
-        wedge_mhrw(graph, steps, seed=base_seed + t).triangle_concentration
-        for t in range(trials)
-    ]
 
 
 def test_fig8a_accuracy(benchmark):
+    specs = [s for s in get_suite("fig8") if s.name.startswith("fig8a")]
     rows = []
     outcome = {}
-    for name in ("brightkite-like", "gowalla-like", "slashdot-like"):
-        graph = load_dataset(name)
-        truth = exact_concentrations(graph, 3)[1]
-        ours = nrmse(walk_estimates(graph, STEPS, TRIALS, 300), truth)
-        theirs = nrmse(mhrw_estimates(graph, STEPS, TRIALS, 300), truth)
-        outcome[name] = (ours, theirs)
-        rows.append([name, ours, theirs, f"{theirs / ours:.2f}x"])
+    for spec in specs:
+        dataset = spec.graph.partition(":")[2]
+        result = run_experiment(spec, jobs=bench_jobs())
+        ours = result.nrmse("SRW1CSSNB")
+        theirs = result.nrmse("wedge_mhrw")
+        outcome[dataset] = (ours, theirs)
+        rows.append([dataset, ours, theirs, f"{theirs / ours:.2f}x"])
     emit(
-        f"Figure 8a: NRMSE of c32, SRW1CSSNB vs Wedge-MHRW ({STEPS} steps)",
+        f"Figure 8a: NRMSE of c32, SRW1CSSNB vs Wedge-MHRW ({specs[0].budget} steps)",
         format_table(
             ["dataset", "SRW1CSSNB", "Wedge-MHRW", "MHRW/ours"], rows
         ),
@@ -60,25 +49,28 @@ def test_fig8a_accuracy(benchmark):
     benchmark.extra_info["results"] = {
         k: (round(a, 4), round(b, 4)) for k, (a, b) in outcome.items()
     }
-    graph = load_dataset("brightkite-like")
-    benchmark(lambda: wedge_mhrw(graph, 1_000, seed=1).triangle_concentration)
+    probe = dataclasses.replace(
+        specs[0], name="fig8a-probe", methods=("wedge_mhrw",), budget=1_000,
+        trials=4, base_seed=1,
+    )
+    benchmark(lambda: run_experiment(probe, jobs=1))
 
 
 def test_fig8b_convergence(benchmark):
-    graph = load_dataset("slashdot-like")
-    truth = exact_concentrations(graph, 3)[1]
-    grid = [1_000, 4_000, 8_000]
-    rows = []
-    finals = {}
-    for label, runner in (
-        ("SRW1CSSNB", walk_estimates),
-        ("Wedge-MHRW", mhrw_estimates),
-    ):
-        errors = [
-            nrmse(runner(graph, steps, 12, 500), truth) for steps in grid
-        ]
-        finals[label] = errors
-        rows.append([label] + errors)
+    specs = sorted(
+        (s for s in get_suite("fig8") if s.name.startswith("fig8b")),
+        key=lambda s: s.budget,
+    )
+    grid = [spec.budget for spec in specs]
+    finals = {"SRW1CSSNB": [], "wedge_mhrw": []}
+    for spec in specs:
+        result = run_experiment(spec, jobs=bench_jobs())
+        for method in finals:
+            finals[method].append(result.nrmse(method))
+    rows = [
+        [{"SRW1CSSNB": "SRW1CSSNB", "wedge_mhrw": "Wedge-MHRW"}[m]] + errors
+        for m, errors in finals.items()
+    ]
     emit(
         "Figure 8b: convergence of c32 estimates (slashdot-like)",
         format_table(["method"] + [str(s) for s in grid], rows),
@@ -88,7 +80,11 @@ def test_fig8b_convergence(benchmark):
     benchmark.extra_info["final"] = {
         k: round(v[-1], 4) for k, v in finals.items()
     }
-    benchmark(lambda: walk_estimates(graph, 500, 2, 900))
+    probe = dataclasses.replace(
+        specs[0], name="fig8b-probe", methods=("SRW1CSSNB",), budget=500,
+        trials=2, base_seed=900,
+    )
+    benchmark(lambda: run_experiment(probe, jobs=1))
 
 
 def test_fig8_api_cost(benchmark):

@@ -1,0 +1,128 @@
+"""CI gate: parallel bench artifacts must match serial goldens.
+
+Usage::
+
+    python benchmarks/check_bench_parity.py SERIAL_DIR PARALLEL_DIR \
+        [--golden BENCH_smoke.json]
+
+Compares every ``*.trials.jsonl`` present in SERIAL_DIR against its
+counterpart in PARALLEL_DIR on the *canonical* row projection (wall-clock
+timing stripped, rows keyed by task index — parallel runs may write rows
+in completion order).  Any divergence means per-trial seeding leaked
+worker/order dependence and fails the build.
+
+``--golden`` additionally pins the NRMSE table of the freshly produced
+summary against a checked-in trajectory file (tolerance 1e-9): the same
+commit must produce the same statistics on every machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import canonical_line  # noqa: E402
+
+
+def load_canonical(path: Path) -> dict:
+    rows = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            rows[row["index"]] = canonical_line(row)
+    return rows
+
+
+def compare_trials(serial_dir: Path, parallel_dir: Path) -> int:
+    failures = 0
+    jsonl_files = sorted(serial_dir.glob("*.trials.jsonl"))
+    if not jsonl_files:
+        print(f"FAIL: no *.trials.jsonl artifacts under {serial_dir}")
+        return 1
+    for serial_path in jsonl_files:
+        parallel_path = parallel_dir / serial_path.name
+        if not parallel_path.exists():
+            print(f"FAIL: {parallel_path} missing")
+            failures += 1
+            continue
+        serial = load_canonical(serial_path)
+        parallel = load_canonical(parallel_path)
+        if set(serial) != set(parallel):
+            print(
+                f"FAIL: {serial_path.name}: trial indices differ "
+                f"(serial {len(serial)}, parallel {len(parallel)})"
+            )
+            failures += 1
+            continue
+        diverged = [i for i in sorted(serial) if serial[i] != parallel[i]]
+        if diverged:
+            print(
+                f"FAIL: {serial_path.name}: {len(diverged)} trials diverge "
+                f"(first: index {diverged[0]})"
+            )
+            failures += 1
+        else:
+            print(f"ok: {serial_path.name}: {len(serial)} trials bit-identical")
+    return failures
+
+
+def compare_golden(parallel_dir: Path, golden_path: Path, tolerance: float) -> int:
+    golden = json.loads(golden_path.read_text())
+    produced_path = parallel_dir / f"BENCH_{golden['name']}.json"
+    if not produced_path.exists():
+        print(f"FAIL: {produced_path} missing (golden names {golden['name']!r})")
+        return 1
+    produced = json.loads(produced_path.read_text())
+    failures = 0
+    if produced["config_hash"] != golden["config_hash"]:
+        print(
+            f"FAIL: config hash changed: golden {golden['config_hash']} vs "
+            f"produced {produced['config_hash']} — the {golden['name']!r} spec "
+            "was edited; regenerate the checked-in trajectory file"
+        )
+        failures += 1
+    for method, expected in golden["nrmse"].items():
+        actual = produced["nrmse"].get(method)
+        if actual is None or abs(actual - expected) > tolerance:
+            print(
+                f"FAIL: NRMSE({method}) = {actual!r}, golden {expected!r} "
+                f"(tolerance {tolerance})"
+            )
+            failures += 1
+        else:
+            print(f"ok: NRMSE({method}) matches golden ({actual:.6g})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("serial_dir", type=Path)
+    parser.add_argument("parallel_dir", type=Path)
+    parser.add_argument(
+        "--golden",
+        type=Path,
+        default=None,
+        help="checked-in BENCH_*.json whose NRMSE table must reproduce",
+    )
+    parser.add_argument("--tolerance", type=float, default=1e-9)
+    args = parser.parse_args(argv)
+
+    failures = compare_trials(args.serial_dir, args.parallel_dir)
+    if args.golden is not None:
+        failures += compare_golden(args.parallel_dir, args.golden, args.tolerance)
+    if failures:
+        print(f"{failures} parity check(s) failed")
+        return 1
+    print("parallel/serial parity holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ substrate is pure Python on substituted datasets.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.graphs import load_dataset
@@ -20,6 +22,15 @@ def emit(title: str, text: str) -> None:
     """Print a regenerated table with a banner."""
     print(f"\n=== {title} ===")
     print(text)
+
+
+def bench_jobs() -> int:
+    """Worker processes for engine-driven benchmarks.
+
+    Defaults to 1 (stable timings); set BENCH_JOBS=N to fan trials out.
+    Results are bit-identical either way — only wall-clock changes.
+    """
+    return int(os.environ.get("BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")

@@ -56,6 +56,8 @@ from .core import (
 )
 from . import estimators
 from .estimators import estimate
+from . import experiments
+from .experiments import ExperimentSpec, run_experiment
 from .evaluation import (
     convergence_sweep,
     cosine_similarity,
@@ -95,6 +97,7 @@ __all__ = [
     "Estimate",
     "EstimationConfig",
     "Estimator",
+    "ExperimentSpec",
     "Graph",
     "GraphError",
     "Graphlet",
@@ -115,6 +118,7 @@ __all__ = [
     "estimators",
     "exact_concentrations",
     "exact_counts",
+    "experiments",
     "global_clustering_coefficient",
     "graphlet_kernel_similarity",
     "graphlet_names",
@@ -135,6 +139,7 @@ __all__ = [
     "relationship_edge_count",
     "relationship_graph",
     "run_estimation",
+    "run_experiment",
     "run_trials",
     "run_with_checkpoints",
     "sample_size_bound",

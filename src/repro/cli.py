@@ -2,6 +2,7 @@
 
     python -m repro datasets
     python -m repro methods
+    python -m repro bench --suite smoke --jobs 4 --out bench-out
     python -m repro summarize --dataset facebook-like
     python -m repro estimate --dataset karate -k 4 --method SRW2CSS --steps 20000
     python -m repro estimate --dataset karate -k 3 --method guise --steps 20000
@@ -177,6 +178,66 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .experiments import (
+        get_suite,
+        run_experiment,
+        summary_path,
+        trials_path,
+    )
+
+    if args.list:
+        from .experiments import suite_specs
+
+        rows = [
+            [name, len(specs), sum(len(s.methods) * s.trials for s in specs)]
+            for name, specs in suite_specs().items()
+        ]
+        print(format_table(["suite", "experiments", "total trials"], rows))
+        return 0
+    try:
+        specs = get_suite(args.suite)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    progress = (lambda message: print(message, file=sys.stderr)) if args.verbose else None
+    for spec in specs:
+        result = run_experiment(
+            spec,
+            jobs=args.jobs,
+            out_dir=args.out,
+            resume=args.resume,
+            progress=progress,
+        )
+        summary = result.summary()
+        rows = [
+            [
+                method,
+                stats["nrmse"],
+                stats["mean_elapsed_seconds"],
+                stats["steps_per_second"] or "n/a",
+            ]
+            for method, stats in summary["methods"].items()
+        ]
+        resumed = (
+            f", {result.resumed_trials} trials resumed" if result.resumed_trials else ""
+        )
+        print(
+            format_table(
+                ["method", f"NRMSE({summary['target_graphlet']})", "s/trial", "steps/s"],
+                rows,
+                title=f"{spec.name}: {spec.graph}, k={spec.k}, "
+                f"{spec.trials} trials x {spec.budget} steps "
+                f"(jobs={args.jobs}{resumed})",
+            )
+        )
+        print(
+            f"  -> {summary_path(args.out, spec)} "
+            f"[+ {trials_path(args.out, spec).name}]"
+        )
+    return 0
+
+
 def cmd_report(args) -> int:
     from .reporting import build_report
 
@@ -267,6 +328,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "bench",
+        help="run a named experiment suite in parallel, writing "
+        "BENCH_*.json artifacts (resumable)",
+    )
+    p.add_argument(
+        "--suite",
+        default="smoke",
+        help="suite name (see --list); default: the CI smoke suite",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan trials over (results are "
+        "bit-identical to --jobs 1)",
+    )
+    p.add_argument(
+        "--out",
+        default="bench-out",
+        help="artifact directory for *.trials.jsonl and BENCH_*.json",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from an existing trials artifact instead of rerunning",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list available suites and exit"
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="report per-trial progress on stderr"
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "report", help="regenerate a compact reproduction report (markdown)"

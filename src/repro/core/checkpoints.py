@@ -34,8 +34,17 @@ def checkpoint_session(
 
     MethodSpec runs accept a live ``rng`` (bit-parity with
     :func:`repro.core.run_estimation`); registry names are resolved via
-    :mod:`repro.estimators` and seed through ``seed``.
+    :mod:`repro.estimators` and seed through ``seed``.  ``rng`` and
+    ``seed`` are mutually exclusive — passing both is an error rather
+    than a silent precedence rule.
     """
+    if rng is not None and seed is not None:
+        raise ValueError(
+            "pass either rng= (a live random.Random, MethodSpec runs only) "
+            "or seed= (an int, any method), not both — they would describe "
+            "two different random streams for the same run; drop seed=, or "
+            "drop rng= and let the run seed itself with random.Random(seed)"
+        )
     if isinstance(method, MethodSpec):
         if rng is None:
             rng = random.Random(seed)

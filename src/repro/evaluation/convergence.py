@@ -40,8 +40,13 @@ def convergence_sweep(
     target_index: int,
     truth: Optional[Dict[int, float]] = None,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> List[ConvergenceCurve]:
-    """NRMSE vs steps for several methods on one graphlet type."""
+    """NRMSE vs steps for several methods on one graphlet type.
+
+    ``jobs`` fans each budget's independent trials over a process pool
+    (results identical to serial execution; see :func:`run_trials`).
+    """
     if truth is None:
         truth = exact_concentrations_cached(graph, k)
     starts = random_start_nodes(graph, trials, seed=base_seed)
@@ -57,6 +62,7 @@ def convergence_sweep(
                 trials,
                 base_seed=base_seed,
                 start_nodes=starts,
+                jobs=jobs,
             )
             errors.append(summary.nrmse_for(truth, target_index))
         curves.append(

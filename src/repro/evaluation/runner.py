@@ -6,6 +6,12 @@ seeds and collects the per-type concentration estimates;
 :func:`nrmse_table` reduces those to NRMSE against exact ground truth —
 the quantity plotted in Figures 4, 6, 7 and 8.
 
+Both are thin wrappers over the parallel experiment engine
+(:mod:`repro.experiments`): pass ``jobs=N`` to fan the independent
+trials out over a process pool.  Seeds are derived per trial
+(``base_seed + t``, the historical stream), never per worker, so the
+estimates are bit-identical whatever ``jobs`` is.
+
 Methods are named by registry string (``"SRW1CSSNB"``, ``"guise"``,
 ``"wedge_mhrw"``, ``"exact"``, …) and driven through the streaming
 session protocol, so framework methods and baselines share one harness
@@ -14,18 +20,26 @@ and one result table — no per-method branches.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from ..core.session import EstimationConfig
-from ..estimators import get as get_estimator
+from ..core.result import Estimate
 from ..exact import exact_concentrations_cached
+from ..experiments.engine import TrialTask, run_tasks
+from ..experiments.spec import random_start_nodes
 from ..graphlets.catalog import graphlets
 from ..graphs.graph import Graph
 from .metrics import nrmse
+
+__all__ = [
+    "TrialSummary",
+    "nrmse_table",
+    "random_start_nodes",
+    "run_custom_trials",
+    "run_trials",
+]
 
 
 @dataclass
@@ -62,46 +76,46 @@ def run_trials(
     base_seed: int = 0,
     seed_node: int = 0,
     start_nodes: Optional[Sequence[int]] = None,
+    jobs: int = 1,
 ) -> TrialSummary:
     """Repeat one method ``trials`` times with seeds ``base_seed + t``.
 
     ``method`` is any registry name (framework grammar or baseline);
     every trial streams through the method's session.  ``start_nodes``
     optionally randomizes the walk's starting point per trial (the paper
-    starts each simulation independently).
+    starts each simulation independently).  ``jobs > 1`` runs trials on
+    a process pool with identical results (each trial's seed is a pure
+    function of ``base_seed`` and the trial index).
     """
-    estimator = get_estimator(method)
+    tasks = [
+        TrialTask(
+            index=t,
+            trial=t,
+            method=method,
+            k=k,
+            budget=steps,
+            seed=base_seed + t,
+            seed_node=(
+                start_nodes[t % len(start_nodes)] if start_nodes else seed_node
+            ),
+        )
+        for t in range(trials)
+    ]
+    rows = run_tasks(graph, tasks, jobs=jobs)
+    results = [Estimate.from_dict(row["estimate"]) for row in rows]
     num_types = len(graphlets(k))
     estimates = np.zeros((trials, num_types))
-    elapsed = 0.0
-    valid = 0.0
-    resolved_method = method
-    for t in range(trials):
-        node = start_nodes[t % len(start_nodes)] if start_nodes else seed_node
-        config = EstimationConfig(
-            method=method, k=k, budget=steps, seed=base_seed + t, seed_node=node
-        )
-        result = estimator.prepare(graph, config).result()
+    for t, result in enumerate(results):
         estimates[t] = result.concentrations
-        elapsed += result.elapsed_seconds
-        valid += result.samples
-        resolved_method = result.method
     return TrialSummary(
         k=k,
-        method=resolved_method,
+        method=results[-1].method if results else method,
         steps=steps,
         trials=trials,
         estimates=estimates,
-        mean_elapsed=elapsed / trials,
-        mean_valid_samples=valid / trials,
+        mean_elapsed=sum(r.elapsed_seconds for r in results) / trials,
+        mean_valid_samples=sum(r.samples for r in results) / trials,
     )
-
-
-def random_start_nodes(graph: Graph, trials: int, seed: int = 0) -> List[int]:
-    """Per-trial random start nodes (degree >= 1)."""
-    rng = random.Random(seed)
-    candidates = [v for v in graph.nodes() if graph.degree(v) > 0]
-    return [candidates[rng.randrange(len(candidates))] for _ in range(trials)]
 
 
 def nrmse_table(
@@ -113,6 +127,7 @@ def nrmse_table(
     target_index: int,
     truth: Optional[Dict[int, float]] = None,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """NRMSE of one graphlet type for several methods — one Figure 4 group.
 
@@ -125,7 +140,8 @@ def nrmse_table(
     table = {}
     for method in methods:
         summary = run_trials(
-            graph, k, method, steps, trials, base_seed=base_seed, start_nodes=starts
+            graph, k, method, steps, trials, base_seed=base_seed,
+            start_nodes=starts, jobs=jobs,
         )
         table[method] = summary.nrmse_for(truth, target_index)
     return table

@@ -1,0 +1,57 @@
+"""Parallel experiment engine: declarative sweeps, artifacts, resume.
+
+The layer between the estimator registry and the evaluation harness:
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec`, graph
+  sources, seed streams;
+* :mod:`repro.experiments.engine` — parallel/resumable execution and
+  the ``*.trials.jsonl`` / ``BENCH_<name>.json`` artifact pair;
+* :mod:`repro.experiments.suites` — the paper's figures as named,
+  CLI-runnable suites (``repro bench --suite fig4``).
+
+See docs/EXPERIMENTS.md for the artifact schema and resume semantics.
+"""
+
+from .engine import (
+    ExperimentResult,
+    TrialTask,
+    build_tasks,
+    canonical_line,
+    canonical_row,
+    execute_task,
+    git_sha,
+    run_experiment,
+    run_tasks,
+    summary_path,
+    trials_path,
+)
+from .spec import (
+    SEED_STRATEGIES,
+    ExperimentSpec,
+    random_start_nodes,
+    resolve_graph,
+    seed_stream,
+)
+from .suites import get_suite, suite_names, suite_specs
+
+__all__ = [
+    "SEED_STRATEGIES",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "TrialTask",
+    "build_tasks",
+    "canonical_line",
+    "canonical_row",
+    "execute_task",
+    "get_suite",
+    "git_sha",
+    "random_start_nodes",
+    "resolve_graph",
+    "run_experiment",
+    "run_tasks",
+    "seed_stream",
+    "suite_names",
+    "suite_specs",
+    "summary_path",
+    "trials_path",
+]

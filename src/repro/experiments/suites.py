@@ -1,0 +1,225 @@
+"""Named experiment suites: the paper's figures as declarative specs.
+
+A suite is a tuple of :class:`~repro.experiments.ExperimentSpec`s
+runnable as one unit via ``repro bench --suite <name>``.  The figure
+suites use ``seed_strategy="sequential"`` — the historical
+``base_seed + t`` derivation — so the converted ``benchmarks/bench_*``
+scripts reproduce the exact numbers they asserted before the engine
+existed; new suites default to the SeedSequence ``"spawn"`` stream.
+
+``smoke`` is the CI trajectory suite: a generated Barabási–Albert graph
+(no data-file dependency), two methods, seconds of work — small enough
+to run twice per CI push (``--jobs 2`` vs ``--jobs 1``) to prove
+parallel/serial bit-identity on every change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .spec import ExperimentSpec
+
+_FIG4A_DATASETS = ("brightkite-like", "slashdot-like")
+_FIG4B_DATASETS = ("brightkite-like", "facebook-like")
+_FIG8A_DATASETS = ("brightkite-like", "gowalla-like", "slashdot-like")
+_FIG6_GRID = (1_000, 2_000, 4_000, 8_000)
+_FIG8B_GRID = (1_000, 4_000, 8_000)
+
+
+def _smoke() -> Tuple[ExperimentSpec, ...]:
+    return (
+        ExperimentSpec(
+            name="smoke",
+            graph="ba:180:3:1",
+            k=3,
+            methods=("SRW1", "SRW1CSSNB"),
+            budget=1_200,
+            trials=8,
+            base_seed=0,
+            seed_strategy="spawn",
+            starts="random",
+            target="triangle",
+            description="CI trajectory suite on a generated BA(180, 3) graph",
+        ),
+    )
+
+
+def _fig4() -> Tuple[ExperimentSpec, ...]:
+    specs = [
+        ExperimentSpec(
+            name=f"fig4a-{dataset}",
+            graph=f"dataset:{dataset}",
+            k=3,
+            methods=("SRW1", "SRW1CSS", "SRW1CSSNB", "SRW2", "SRW2NB"),
+            budget=4_000,
+            trials=24,
+            base_seed=4,
+            seed_strategy="sequential",
+            target="triangle",
+            description="Figure 4a: NRMSE of c32 across methods",
+        )
+        for dataset in _FIG4A_DATASETS
+    ]
+    specs += [
+        ExperimentSpec(
+            name=f"fig4b-{dataset}",
+            graph=f"dataset:{dataset}",
+            k=4,
+            methods=("SRW2", "SRW2CSS", "SRW3"),
+            budget=4_000,
+            trials=24,
+            base_seed=6,
+            seed_strategy="sequential",
+            target="clique",
+            description="Figure 4b: NRMSE of c46 across methods",
+        )
+        for dataset in _FIG4B_DATASETS
+    ]
+    specs.append(
+        ExperimentSpec(
+            name="fig4c-karate",
+            graph="dataset:karate",
+            k=5,
+            methods=("SRW2", "SRW2CSS", "SRW3", "SRW4"),
+            budget=4_000,
+            trials=24,
+            base_seed=8,
+            seed_strategy="sequential",
+            target="clique",
+            description="Figure 4c: NRMSE of c521 across methods",
+        )
+    )
+    return tuple(specs)
+
+
+def _fig5() -> Tuple[ExperimentSpec, ...]:
+    return (
+        ExperimentSpec(
+            name="fig5-epinion",
+            graph="dataset:epinion-like",
+            k=4,
+            methods=("SRW2", "SRW2CSS", "SRW3"),
+            budget=4_000,
+            trials=20,
+            base_seed=5,
+            seed_strategy="sequential",
+            starts="fixed:0",
+            target="clique",
+            description="Figure 5: per-type NRMSE vs weighted concentration",
+        ),
+    )
+
+
+def _fig6() -> Tuple[ExperimentSpec, ...]:
+    specs = [
+        ExperimentSpec(
+            name=f"fig6a-{budget}",
+            graph="dataset:slashdot-like",
+            k=3,
+            methods=("SRW1", "SRW1CSS", "SRW1CSSNB"),
+            budget=budget,
+            trials=16,
+            base_seed=6,
+            seed_strategy="sequential",
+            target="triangle",
+            description="Figure 6a: NRMSE of c32 vs steps",
+        )
+        for budget in _FIG6_GRID
+    ]
+    specs += [
+        ExperimentSpec(
+            name=f"fig6b-{budget}",
+            graph="dataset:facebook-like",
+            k=4,
+            methods=("SRW2", "SRW2CSS", "SRW3"),
+            budget=budget,
+            trials=16,
+            base_seed=8,
+            seed_strategy="sequential",
+            target="clique",
+            description="Figure 6b: NRMSE of c46 vs steps",
+        )
+        for budget in _FIG6_GRID
+    ]
+    specs += [
+        ExperimentSpec(
+            name=f"fig6c-{budget}",
+            graph="dataset:karate",
+            k=5,
+            methods=("SRW2CSS",),
+            budget=budget,
+            trials=12,
+            base_seed=10,
+            seed_strategy="sequential",
+            target="clique",
+            description="Figure 6c: NRMSE of c521 vs steps",
+        )
+        for budget in (2_000, 16_000)
+    ]
+    return tuple(specs)
+
+
+def _fig8() -> Tuple[ExperimentSpec, ...]:
+    specs = [
+        ExperimentSpec(
+            name=f"fig8a-{dataset}",
+            graph=f"dataset:{dataset}",
+            k=3,
+            methods=("SRW1CSSNB", "wedge_mhrw"),
+            budget=4_000,
+            trials=20,
+            base_seed=300,
+            seed_strategy="sequential",
+            starts="fixed:0",
+            target="triangle",
+            description="Figure 8a: framework vs MHRW-adapted wedge sampling",
+        )
+        for dataset in _FIG8A_DATASETS
+    ]
+    specs += [
+        ExperimentSpec(
+            name=f"fig8b-{budget}",
+            graph="dataset:slashdot-like",
+            k=3,
+            methods=("SRW1CSSNB", "wedge_mhrw"),
+            budget=budget,
+            trials=12,
+            base_seed=500,
+            seed_strategy="sequential",
+            starts="fixed:0",
+            target="triangle",
+            description="Figure 8b: convergence, framework vs wedge-MHRW",
+        )
+        for budget in _FIG8B_GRID
+    ]
+    return tuple(specs)
+
+
+_SUITES = {
+    "smoke": _smoke,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig8": _fig8,
+}
+
+
+def suite_names() -> Tuple[str, ...]:
+    """Names accepted by ``repro bench --suite``."""
+    return tuple(sorted(_SUITES))
+
+
+def get_suite(name: str) -> Tuple[ExperimentSpec, ...]:
+    """The specs of a named suite."""
+    try:
+        factory = _SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; available: {', '.join(suite_names())}"
+        ) from None
+    return factory()
+
+
+def suite_specs() -> Dict[str, Tuple[ExperimentSpec, ...]]:
+    """All suites, materialized (mainly for docs and tests)."""
+    return {name: get_suite(name) for name in suite_names()}

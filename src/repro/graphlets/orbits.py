@@ -31,7 +31,6 @@ from .catalog import graphlets
 from .isomorphism import (
     canonical_certificate,
     is_connected_mask,
-    pair_table,
     relabel_bitmask,
 )
 

@@ -15,7 +15,7 @@ sampler needs 3 API calls per walk step versus 1 for our framework).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import List, Set
 
 from .graph import Graph
 

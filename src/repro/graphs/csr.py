@@ -31,7 +31,7 @@ neighbor lists (all d <= 2 methods); see ``tests/test_csr.py``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 

@@ -28,9 +28,8 @@ from repro.exact import (
     triangle_count,
     wedge_count,
 )
-from repro.graphlets import graphlet_by_name
-from repro.graphs import Graph, RestrictedGraph, load_dataset
-from repro.graphs.generators import complete_graph, path_graph
+from repro.graphs import Graph, RestrictedGraph
+from repro.graphs.generators import path_graph
 
 
 class TestWedgeSampling:

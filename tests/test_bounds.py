@@ -14,7 +14,6 @@ from repro.core.bounds import (
 from repro.core.alpha import alpha_table
 from repro.exact import exact_counts
 from repro.graphlets import graphlet_by_name
-from repro.graphs import load_dataset
 
 
 class TestSampleSizeBound:

@@ -155,7 +155,6 @@ class TestClassifyNodes:
         """Sampled node sets classify consistently with networkx
         isomorphism against the catalog representative."""
         g = load_dataset("karate")
-        import itertools
         import random
 
         rng = random.Random(7)

@@ -10,7 +10,6 @@ import pytest
 from repro.core.checkpoints import run_with_checkpoints
 from repro.core.estimator import MethodSpec, run_estimation
 from repro.exact import exact_concentrations
-from repro.graphs import load_dataset
 
 
 class TestCheckpoints:

@@ -10,8 +10,8 @@ import pytest
 
 from repro.core.alpha import alpha_coefficient, alpha_table
 from repro.core.css import css_templates, sampling_weight
-from repro.graphlets import edges_to_bitmask, graphlet_by_name, graphlets, induced_bitmask
-from repro.graphs import Graph, load_dataset
+from repro.graphlets import graphlet_by_name, graphlets, induced_bitmask
+from repro.graphs import Graph
 from repro.graphs.generators import complete_graph
 
 

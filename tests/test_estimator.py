@@ -12,7 +12,7 @@ import pytest
 from repro.core.estimator import MethodSpec, run_estimation
 from repro.exact import exact_concentrations, exact_counts
 from repro.graphlets import graphlet_by_name, graphlets
-from repro.graphs import RestrictedGraph, load_dataset
+from repro.graphs import RestrictedGraph
 from repro.relgraph import relationship_edge_count
 
 

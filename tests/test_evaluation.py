@@ -22,8 +22,7 @@ from repro.evaluation import (
     similarity_trials,
 )
 from repro.exact import exact_concentrations
-from repro.graphs import load_dataset
-from repro.graphs.generators import complete_graph, erdos_renyi, powerlaw_cluster
+from repro.graphs.generators import erdos_renyi, powerlaw_cluster
 
 
 class TestMetrics:

@@ -30,11 +30,10 @@ from repro.exact import (
     wedge_count,
 )
 from repro.exact.enumerate import exact_counts as esu_counts
-from repro.graphs import Graph, load_dataset
+from repro.graphs import Graph
 from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
-    erdos_renyi,
     path_graph,
     star_graph,
 )

@@ -13,7 +13,7 @@ from repro.core import (
     recommended_method,
 )
 from repro.exact import exact_concentrations, exact_counts
-from repro.graphs import RestrictedGraph, load_dataset
+from repro.graphs import RestrictedGraph
 
 
 class TestRecommendedMethods:

@@ -13,7 +13,6 @@ from repro import (
     estimate_concentration,
     exact_concentrations,
     load_dataset,
-    nrmse,
     run_trials,
 )
 

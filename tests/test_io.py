@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graphs import Graph, GraphError, read_edge_list, write_edge_list
+from repro.graphs import GraphError, read_edge_list, write_edge_list
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.io import graph_from_pairs, iter_edge_list
 

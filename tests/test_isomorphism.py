@@ -14,7 +14,6 @@ from repro.graphlets.isomorphism import (
     automorphism_count,
     bitmask_to_edges,
     canonical_certificate,
-    certificate_of_edges,
     connected_subsets,
     degree_sequence_of_mask,
     edges_to_bitmask,

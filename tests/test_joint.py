@@ -10,7 +10,7 @@ import pytest
 from repro.core.joint import run_joint_estimation
 from repro.exact import exact_concentrations
 from repro.graphlets import graphlet_by_name
-from repro.graphs import RestrictedGraph, load_dataset
+from repro.graphs import RestrictedGraph
 
 
 class TestValidation:

@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 import pytest
 
-from repro.graphs import Graph, load_dataset
+from repro.graphs import Graph
 from repro.graphs.generators import cycle_graph, lollipop_graph, star_graph
 from repro.relgraph import relationship_graph
 

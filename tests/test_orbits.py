@@ -15,7 +15,6 @@ from repro.graphlets.orbits import (
     orbit_table,
     position_orbits,
 )
-from repro.graphs import load_dataset
 from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
 
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,7 @@ from collections import Counter
 
 import pytest
 
-from repro.graphs import Graph, is_connected, load_dataset
+from repro.graphs import Graph, is_connected
 from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.relgraph import (
     EdgeSpace,

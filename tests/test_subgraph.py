@@ -5,7 +5,7 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro.graphs import Graph, load_dataset
+from repro.graphs import Graph
 from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
 from repro.graphs.subgraph import (
     core_numbers,

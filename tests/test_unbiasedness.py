@@ -24,7 +24,7 @@ from repro.core.css import sampling_weight
 from repro.core.expanded_chain import enumerate_windows, stationary_weight
 from repro.exact import exact_counts
 from repro.graphlets import classify_bitmask, graphlets, induced_bitmask
-from repro.graphs import Graph, load_dataset
+from repro.graphs import Graph
 from repro.graphs.generators import lollipop_graph
 from repro.relgraph import relationship_graph
 

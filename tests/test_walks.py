@@ -7,7 +7,7 @@ from collections import Counter
 
 import pytest
 
-from repro.graphs import Graph, load_dataset
+from repro.graphs import Graph
 from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.relgraph import EdgeSpace, NodeSpace, SubgraphSpace
 from repro.walks import (
