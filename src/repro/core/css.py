@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from functools import lru_cache
 from itertools import combinations, permutations
-from typing import FrozenSet, Sequence, Tuple
+from typing import Callable, FrozenSet, Sequence, Tuple
+
+import numpy as np
 
 from ..graphlets.isomorphism import bitmask_to_edges, connected_subsets
 
@@ -93,3 +95,130 @@ def sampling_weight(
             weight /= degree_of_state(tuple(nodes[i] for i in middle))
         total += weight
     return total
+
+
+#: Windows per chunk when evaluating weights; bounds the gathered
+#: (windows, templates, l-2, d) scratch tensor (k = 5, d = 2 has up to
+#: 480 templates per pattern) to a few tens of MB.
+_WEIGHT_CHUNK = 2048
+
+
+class CSSWeightTable:
+    """Compiled CSS weights for whole blocks of windows at once.
+
+    The table turns :func:`css_templates` into NumPy index arrays: for a
+    labeled k-node pattern (bitmask over the window's sorted node list),
+    row ``mask`` of the padded ``(patterns, templates, l - 2, d)``
+    position tensor lists every corresponding sequence's middle states as
+    label positions.  Evaluating ``p~(X)`` for a block of windows is then
+    a gather of middle-state node ids, a vectorized degree lookup, and a
+    product/sum over the template axis — no Python work per window.
+
+    Rows compile lazily, the first time a pattern is seen (connected
+    k-node patterns number at most 728 for k = 5, so the table saturates
+    as quickly as the template cache it compiles from).
+
+    Bit-compatibility contract
+    --------------------------
+    :meth:`weights` reproduces :func:`sampling_weight` *bit for bit*, not
+    just to rounding: per template the middle degrees divide in sequence
+    (``1/d_1 / d_2 …``, the serial loop's order, not a ``prod`` of
+    reciprocals) and templates sum in cache order, with padded template
+    slots contributing an exact ``+ 0.0``.  The batched estimator's
+    equality guarantees against the serial path rest on this.
+    """
+
+    def __init__(self, k: int, d: int) -> None:
+        if not 1 <= d < k:
+            raise ValueError(f"CSS requires 1 <= d < k, got d={d}, k={k}")
+        l = k - d + 1
+        if l < 3:
+            raise ValueError(
+                f"CSS weight table needs l = k - d + 1 >= 3 (got l={l}); "
+                "for l = 2 CSS coincides with the basic estimator"
+            )
+        self.k = k
+        self.d = d
+        self.n_middle = l - 2
+        n_patterns = 1 << (k * (k - 1) // 2)
+        # -1 marks an uncompiled row; disconnected patterns never appear
+        # (windows are walk-generated) so rows stay untouched for them.
+        self._counts = np.full(n_patterns, -1, dtype=np.int64)
+        self._middles = np.zeros((n_patterns, 0, self.n_middle, d), dtype=np.int64)
+
+    @property
+    def max_templates(self) -> int:
+        """Template-axis capacity of the compiled tensor so far."""
+        return self._middles.shape[1]
+
+    def _compile(self, mask: int) -> None:
+        templates = css_templates(mask, self.k, self.d)
+        count = len(templates)
+        if count > self._middles.shape[1]:
+            grown = np.zeros(
+                (self._counts.size, count, self.n_middle, self.d), dtype=np.int64
+            )
+            grown[:, : self._middles.shape[1]] = self._middles
+            self._middles = grown
+        if count:
+            self._middles[mask, :count] = np.asarray(templates, dtype=np.int64)
+        self._counts[mask] = count
+
+    def ensure(self, masks: np.ndarray) -> None:
+        """Compile every pattern appearing in ``masks`` (idempotent)."""
+        distinct = np.unique(masks)
+        for mask in distinct[self._counts[distinct] < 0]:
+            self._compile(int(mask))
+
+    def weights(
+        self,
+        masks: np.ndarray,
+        nodes: np.ndarray,
+        degree_fn: Callable[[np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """``p~(X)`` for a block of windows.
+
+        Parameters
+        ----------
+        masks:
+            ``(W,)`` labeled bitmasks, one per window.
+        nodes:
+            ``(W, k)`` sorted distinct node ids per window (the list the
+            bitmask is labeled over).
+        degree_fn:
+            Vectorized G(d) state degree: maps an ``(..., d)`` int array
+            of node ids to the (possibly NB-nominal) degrees — see
+            :func:`repro.walks.windows.state_degrees`.
+        """
+        self.ensure(masks)
+        out = np.empty(masks.shape[0], dtype=np.float64)
+        for start in range(0, masks.shape[0], _WEIGHT_CHUNK):
+            sel = slice(start, start + _WEIGHT_CHUNK)
+            out[sel] = self._weights_chunk(masks[sel], nodes[sel], degree_fn)
+        return out
+
+    def _weights_chunk(self, masks, nodes, degree_fn) -> np.ndarray:
+        counts = self._counts[masks]
+        t_max = int(counts.max(initial=0))
+        total = np.zeros(masks.shape[0], dtype=np.float64)
+        if t_max == 0:
+            return total
+        mids = self._middles[masks, :t_max]  # (W, T, l-2, d) label positions
+        ids = nodes[np.arange(masks.shape[0])[:, None, None, None], mids]
+        live = np.arange(t_max)[None, :] < counts[:, None]  # (W, T)
+        # Padded slots gather position 0 repeatedly; force their degrees
+        # to 1 so no divide-by-zero noise leaks in before masking.
+        degrees = np.where(live[:, :, None], degree_fn(ids), 1)
+        weight = 1.0 / degrees[..., 0]
+        for j in range(1, self.n_middle):
+            weight = weight / degrees[..., j]
+        weight = np.where(live, weight, 0.0)
+        for t in range(t_max):  # serial summation order: bit-exact totals
+            total += weight[:, t]
+        return total
+
+
+@lru_cache(maxsize=None)
+def css_weight_table(k: int, d: int) -> CSSWeightTable:
+    """The process-wide compiled weight table for ``(k, d)``."""
+    return CSSWeightTable(k, d)

@@ -20,9 +20,12 @@ chain is an independent walk (per-chain seeds derived from the caller's
 RNG); since every S_i is a sum over samples, pooling is exact: the merged
 result is distributed like one run whose samples came from B chains.  On
 the CSR backend with d <= 2 the chains advance in lockstep through the
-vectorized :class:`~repro.walks.batched.BatchedWalkEngine`; on other
-backends they run serially.  ``chains=1`` (the default) is byte-for-byte
-the seed estimator.
+vectorized :class:`~repro.walks.batched.BatchedWalkEngine`, and window
+classification plus re-weighting — basic *and* CSS — run block-at-a-time
+through :class:`_VectorizedAccumulator` (CSS weights gather through the
+compiled :func:`~repro.core.css.css_weight_table`); on other backends
+chains run serially.  ``chains=1`` (the default) is byte-for-byte the
+seed estimator.
 """
 
 from __future__ import annotations
@@ -31,17 +34,18 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphlets.catalog import classify_bitmask
+from ..graphlets.signatures import classification_table
 from ..relgraph.spaces import WalkSpace, walk_space
+from ..walks import windows as windows_mod
 from ..walks.batched import batch_capable
 from ..walks.walkers import make_engine, make_walk
 from .alpha import alpha_table
-from .css import sampling_weight
+from .css import css_weight_table, sampling_weight
 from .expanded_chain import nominal_degree
 from .result import Estimate, deprecated_result_alias
 from .session import Session
@@ -103,6 +107,20 @@ class MethodSpec:
             else:
                 raise ValueError(f"unrecognized suffix {rest!r} in method {name!r}")
         return cls(k=k, d=int(digits), css=css, nb=nb)
+
+
+def split_budget(steps: int, chains: int) -> List[int]:
+    """The multichain budget split: as even as possible, the first
+    ``steps % chains`` chains taking one extra transition.
+
+    This is the one definition every batched path shares —
+    :func:`_run_multichain`, :class:`SRWSession` streaming, and the
+    speedup benchmark — because two invariants hang off it: the split is
+    non-increasing (what lets :class:`_VectorizedAccumulator` treat
+    in-budget chains as a column prefix) and identical across callers
+    (what makes a streamed session bit-identical to the one-shot run).
+    """
+    return [steps // chains + (1 if b < steps % chains else 0) for b in range(chains)]
 
 
 def _between_chain_stderr(chain_sums: Sequence[np.ndarray]) -> Optional[np.ndarray]:
@@ -441,31 +459,17 @@ class _ChainAccumulator:
         self.valid_samples += 1
 
 
-@lru_cache(maxsize=None)
-def _classify_table(k: int) -> np.ndarray:
-    """Graphlet index per labeled k-node bitmask (-1 for disconnected).
-
-    A dense array version of :func:`classify_bitmask` so batched window
-    classification is one fancy-indexing gather.  At most 2^C(k, 2)
-    entries (1024 for k = 5), built once per k.
-    """
-    size = 1 << (k * (k - 1) // 2)
-    table = np.full(size, -1, dtype=np.int64)
-    for mask in range(size):
-        try:
-            table[mask] = classify_bitmask(mask, k)
-        except KeyError:
-            pass
-    return table
-
-
 def _batched_python(
     graph, spec: MethodSpec, alphas, budgets: List[int], engine, burn_in: int
 ):
     """Drain a batched engine through one Python accumulator per chain.
 
-    Used for CSS methods, whose per-sample weight (Algorithm 3's template
-    sum) is evaluated per window; the walk itself is still vectorized.
+    The reference accumulation: :func:`_batched_vectorized` must process
+    exactly these windows and (for CSS) reproduce these sums bit for bit
+    — the parity suite in ``tests/test_csr.py`` drives both off
+    identically seeded engines.  Kept as the fallback should a future
+    block engine lack the vectorized probe surface (``has_edges`` /
+    ``degrees_array``) the fast path gathers through.
     """
     effective_degree = _effective_degree_fn(graph, walk_space(spec.d), spec)
     accumulators = [
@@ -508,95 +512,219 @@ def _batched_python(
     return sums, sample_counts, valid_samples
 
 
+class _VectorizedAccumulator:
+    """One-pass vectorized window accumulation for batched chains.
+
+    Turns blocks of engine transitions into ``t x B`` sliding windows at
+    once (:mod:`repro.walks.windows`): node multisets sort row-wise to
+    count distinct nodes, valid windows classify through batched
+    ``has_edges`` probes plus the dense
+    :func:`~repro.graphlets.signatures.classification_table`, and the
+    re-weighting is
+
+    * **basic** — Theorem 2's ``1 / alpha_i`` times the product of
+      middle-state degrees, a row product pooled straight into one sums
+      vector (``np.bincount``);
+    * **CSS** — Algorithm 3's ``1 / p~(X)`` through the compiled
+      :func:`~repro.core.css.css_weight_table`, scatter-added into
+      per-(chain, type) cells with ``np.add.at`` — which applies
+      duplicate indices *sequentially in order of appearance*, so every
+      cell accumulates its windows in time order exactly like a
+      :class:`_ChainAccumulator`, and the chain-ordered pooling of
+      :meth:`pooled_sums` is **bit-identical** to the per-chain Python
+      path (and independent of how the stream was blocked, which is what
+      lets streaming sessions reuse this class).
+
+    ``budgets`` must be non-increasing (the even split of
+    :func:`_run_multichain` always is): chain ``b``'s counted windows
+    are then exactly the first ``budgets[b]`` rows, and the chains still
+    in budget at any row form a column prefix.
+
+    Driving protocol: construct (consumes ``burn_in`` discarded
+    transitions plus the ``l - 2`` window prefill per chain), then call
+    :meth:`advance` until :attr:`counted` reaches :attr:`total`.
+    ``advance`` consumes any number of counted windows — whole blocks of
+    rows, or part of one row (the streaming session's round-robin
+    granularity; windows within a row count in chain order).
+    """
+
+    def __init__(
+        self, graph, spec: MethodSpec, alphas, budgets: List[int], engine,
+        burn_in: int,
+    ) -> None:
+        budgets_arr = np.asarray(budgets, dtype=np.int64)
+        if np.any(budgets_arr[1:] > budgets_arr[:-1]):
+            raise ValueError("budgets must be non-increasing")
+        self.graph = graph
+        self.spec = spec
+        self.chains = len(budgets)
+        self.budgets = budgets_arr
+        self.alpha_arr = np.asarray(alphas, dtype=np.float64)
+        self.num_types = len(alphas)
+        self.engine = engine
+        self.classify = classification_table(spec.k)
+        self.need_degrees = spec.l > 2
+        if spec.css:
+            self.weight_table = css_weight_table(spec.k, spec.d)
+            self.chain_sums = np.zeros((self.chains, self.num_types))
+        else:
+            self.weight_table = None
+            self.sums = np.zeros(self.num_types)
+        self.sample_counts = np.zeros(self.num_types, dtype=np.int64)
+        self.valid_samples = 0
+        self.total = int(budgets_arr.sum())
+        self._counted = 0
+        self._row = 0  # fully consumed window rows (lockstep time steps)
+        self._col = 0  # chains consumed of the currently open partial row
+        self._pending: Optional[np.ndarray] = None  # open row's l stream rows
+
+        discarded = burn_in
+        while discarded > 0:  # chunked so huge burn-ins don't allocate at once
+            engine.step_block(min(discarded, 4096))
+            discarded -= min(discarded, 4096)
+        # Tail = the l - 1 stream rows preceding the next window row:
+        # window-start states plus l - 2 prefill transitions, so each
+        # further transition completes exactly one window row.
+        tail = windows_mod.as_stream(engine.states().copy(), self.chains, spec.d)
+        if spec.l > 2:
+            tail = np.concatenate(
+                [
+                    tail,
+                    windows_mod.as_stream(
+                        engine.step_block(spec.l - 2), self.chains, spec.d
+                    ),
+                ]
+            )
+        self._tail = tail
+
+    @property
+    def counted(self) -> int:
+        """Counted windows consumed so far (== budget units)."""
+        return self._counted
+
+    def _row_width(self, row: int) -> int:
+        """Chains still in budget at window row ``row`` (a column prefix)."""
+        return int(np.count_nonzero(self.budgets > row))
+
+    def advance(self, n: int) -> None:
+        """Consume exactly ``n`` more counted windows."""
+        if n < 0 or self._counted + n > self.total:
+            raise ValueError(
+                f"cannot consume {n} windows at {self._counted}/{self.total}"
+            )
+        l = self.spec.l
+        if self._pending is not None and n > 0:
+            # Resume the open row where the last advance stopped.
+            width = self._row_width(self._row)
+            take = min(n, width - self._col)
+            self._process(self._pending, 1, slice(self._col, self._col + take))
+            self._col += take
+            self._counted += take
+            n -= take
+            if self._col == width:
+                self._tail = self._pending[1:]
+                self._pending = None
+                self._col = 0
+                self._row += 1
+        while n > 0:
+            width = self._row_width(self._row)
+            if n < width:
+                # Open a partial row: one lockstep transition, first n chains.
+                self._pending = np.concatenate(
+                    [
+                        self._tail,
+                        windows_mod.as_stream(
+                            self.engine.step_block(1), self.chains, self.spec.d
+                        ),
+                    ]
+                )
+                self._process(self._pending, 1, slice(0, n))
+                self._col = n
+                self._counted += n
+                return
+            # Rows keep one width until the next budget boundary.
+            boundary = int(self.budgets[self.budgets > self._row].min())
+            t = min(boundary - self._row, n // width, 512)
+            stream = np.concatenate(
+                [
+                    self._tail,
+                    windows_mod.as_stream(
+                        self.engine.step_block(t), self.chains, self.spec.d
+                    ),
+                ]
+            )
+            self._process(stream, t, slice(0, width))
+            self._tail = stream[-(l - 1) :].copy()
+            self._row += t
+            self._counted += t * width
+            n -= t * width
+
+    def _process(self, stream: np.ndarray, t: int, cols: slice) -> None:
+        """Accumulate the ``t`` window rows of ``stream`` over ``cols``."""
+        spec = self.spec
+        k, d, l = spec.k, spec.d, spec.l
+        sub = stream[:, cols]
+        width = sub.shape[1]
+        windows = windows_mod.sliding_windows(sub, l)  # (t, width, d, l)
+        node_rows = windows.reshape(t * width, d * l)
+        valid, uniq = windows_mod.distinct_window_nodes(node_rows, k)
+        if not np.any(valid):
+            return
+        masks = windows_mod.induced_bitmasks(self.graph, uniq, k)
+        types = self.classify[masks]
+        if np.any(types < 0):  # pragma: no cover - windows are connected
+            raise RuntimeError("sampled window classified as disconnected")
+        if spec.css:
+            p_tilde = self.weight_table.weights(
+                masks,
+                uniq,
+                lambda ids: windows_mod.state_degrees(self.graph, ids, d, spec.nb),
+            )
+            if np.any(p_tilde <= 0):  # pragma: no cover - walk can't reach
+                raise RuntimeError("sampled window has zero CSS weight")
+            weights = 1.0 / p_tilde
+            chain_ids = np.tile(np.arange(self.chains)[cols], t)[valid]
+            np.add.at(self.chain_sums, (chain_ids, types), weights)
+        else:
+            if self.need_degrees:
+                deg_windows = windows_mod.sliding_windows(
+                    windows_mod.state_degrees(self.graph, sub, d, spec.nb), l
+                )
+                middle_product = deg_windows[:, :, 1:-1].prod(axis=2).ravel()
+                weights = middle_product[valid] / self.alpha_arr[types]
+            else:
+                weights = 1.0 / self.alpha_arr[types]
+            self.sums += np.bincount(types, weights=weights, minlength=self.num_types)
+        self.sample_counts += np.bincount(types, minlength=self.num_types)
+        self.valid_samples += int(valid.sum())
+
+    def pooled_sums(self) -> np.ndarray:
+        """Per-type sums pooled over chains.
+
+        CSS pools the per-chain cells sequentially in chain order — the
+        exact addition sequence of the Python reference pooling — so the
+        result is bit-identical to :func:`_batched_python`.
+        """
+        if not self.spec.css:
+            return self.sums
+        sums = np.zeros(self.num_types)
+        for b in range(self.chains):
+            sums += self.chain_sums[b]
+        return sums
+
+
 def _batched_vectorized(
     graph, spec: MethodSpec, alphas, budgets: List[int], engine, burn_in: int
 ):
-    """Aggregate all chains in one vectorized pass (basic estimator).
+    """Aggregate all chains in one vectorized pass (basic **and** CSS).
 
-    Every block of engine transitions is turned into ``t x B`` sliding
-    windows at once: node multisets are sorted row-wise to count distinct
-    nodes, valid windows classify through vectorized ``has_edges`` probes
-    plus the dense mask table, and the Theorem 2 re-weighting (1 / alpha_i
-    times the product of middle-state degrees) is a row product — no
-    Python-level per-window work at all.
+    See :class:`_VectorizedAccumulator` for the pipeline; this wrapper
+    drives it through the whole budget and returns pooled
+    ``(sums, sample_counts, valid_samples)``.
     """
-    k, d, l = spec.k, spec.d, spec.l
-    chains = len(budgets)
-    degs = graph.degrees_array
-    table = _classify_table(k)
-    alpha_arr = np.asarray(alphas, dtype=np.float64)
-    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
-    budgets_arr = np.asarray(budgets, dtype=np.int64)
-    num_types = len(alphas)
-    sums = np.zeros(num_types)
-    sample_counts = np.zeros(num_types, dtype=np.int64)
-    valid_samples = 0
-    need_degrees = l > 2
-
-    def as_stream(block: np.ndarray, steps: int) -> np.ndarray:
-        """Engine output -> (steps, B, d)."""
-        return block.reshape(steps, chains, d)
-
-    def state_degrees(stream: np.ndarray) -> np.ndarray:
-        if d == 1:
-            out = degs[stream[:, :, 0]]
-        else:
-            out = degs[stream[:, :, 0]] + degs[stream[:, :, 1]] - 2
-        if spec.nb:  # nominal degree d' = max(d - 1, 1), vectorized
-            out = np.maximum(out - 1, 1)
-        return out
-
-    discarded = burn_in
-    while discarded > 0:  # chunked so huge burn-ins don't allocate at once
-        engine.step_block(min(discarded, 4096))
-        discarded -= min(discarded, 4096)
-    # Stream = window-start state followed by every counted transition;
-    # prefill l - 2 transitions so each block of t transitions completes
-    # exactly t windows (l >= 2 always holds for d <= 2, k >= 3).
-    tail = as_stream(engine.states().copy(), 1)
-    if l > 2:
-        tail = np.concatenate([tail, as_stream(engine.step_block(l - 2), l - 2)])
-
-    max_budget = max(budgets)
-    windows_done = 0
-    block_size = 512
-    while windows_done < max_budget:
-        t = min(block_size, max_budget - windows_done)
-        stream = np.concatenate([tail, as_stream(engine.step_block(t), t)])
-        # (t, B, d, l): window w of chain b is stream[w : w + l, b].
-        windows = np.lib.stride_tricks.sliding_window_view(stream, l, axis=0)
-        nodes = windows.reshape(t * chains, d * l)
-        in_budget = (
-            windows_done + np.arange(t, dtype=np.int64)[:, None] < budgets_arr[None, :]
-        ).ravel()
-        if need_degrees:
-            deg_windows = np.lib.stride_tricks.sliding_window_view(
-                state_degrees(stream), l, axis=0
-            )
-            middle_product = deg_windows[:, :, 1:-1].prod(axis=2).ravel()
-        nodes = nodes[in_budget]
-        srt = np.sort(nodes, axis=1)
-        fresh = np.ones(srt.shape, dtype=bool)
-        fresh[:, 1:] = srt[:, 1:] != srt[:, :-1]
-        valid = fresh.sum(axis=1) == k
-        if np.any(valid):
-            uniq = srt[valid][fresh[valid]].reshape(-1, k)
-            bits = np.zeros(uniq.shape[0], dtype=np.int64)
-            for bit, (i, j) in enumerate(pairs):
-                bits |= graph.has_edges(uniq[:, i], uniq[:, j]).astype(np.int64) << bit
-            types = table[bits]
-            if np.any(types < 0):  # pragma: no cover - windows are connected
-                raise RuntimeError("sampled window classified as disconnected")
-            if need_degrees:
-                weights = middle_product[in_budget][valid] / alpha_arr[types]
-            else:
-                weights = 1.0 / alpha_arr[types]
-            sums += np.bincount(types, weights=weights, minlength=num_types)
-            sample_counts += np.bincount(types, minlength=num_types)
-            valid_samples += int(valid.sum())
-        windows_done += t
-        tail = stream[-(l - 1) :].copy()
-    return sums, sample_counts, valid_samples
+    acc = _VectorizedAccumulator(graph, spec, alphas, budgets, engine, burn_in)
+    acc.advance(acc.total)
+    return acc.pooled_sums(), acc.sample_counts, acc.valid_samples
 
 
 def _run_multichain(
@@ -613,16 +741,18 @@ def _run_multichain(
     The total budget is split as evenly as possible (the first
     ``steps % chains`` chains take one extra transition).  On a CSR
     backend with d <= 2 all chains advance in lockstep through the
-    vectorized engine — with fully vectorized window accumulation for the
-    basic estimator, per-chain Python accumulators for CSS; otherwise
-    each chain runs the serial loop with its own RNG seeded from ``rng``.
+    vectorized engine with fully vectorized window accumulation for the
+    basic estimator *and* CSS (the compiled weight-table fast path;
+    CSS pooled sums are bit-identical to the per-chain Python
+    reference accumulators); otherwise each chain runs the serial loop
+    with its own RNG seeded from ``rng``.
     """
     if steps < chains:
         raise ValueError(
             f"need at least one transition per chain: steps={steps} < chains={chains}"
         )
     rng = rng if rng is not None else random.Random()
-    budgets = [steps // chains + (1 if b < steps % chains else 0) for b in range(chains)]
+    budgets = split_budget(steps, chains)
     k, d = spec.k, spec.d
     alphas = alpha_table(k, d)
     start_time = time.perf_counter()
@@ -637,8 +767,7 @@ def _run_multichain(
             rng=rng,
             seed_node=seed_node,
         )
-        accumulate = _batched_python if spec.css else _batched_vectorized
-        sums, sample_counts, valid_samples = accumulate(
+        sums, sample_counts, valid_samples = _batched_vectorized(
             graph, spec, alphas, budgets, engine, burn_in
         )
     else:
@@ -689,8 +818,17 @@ class SRWSession(Session):
     :func:`run_estimation`, so batch-capable backends keep their
     vectorized multi-chain kernels — and a one-shot
     ``repro.estimate(..., backend="csr", chains=B)`` is bit-identical
-    to the pre-registry entry point.  Once streaming has started, the
-    run stays on the serial per-chain path.
+    to the pre-registry entry point.
+
+    Streamed **CSS** runs with ``chains > 1`` on a batch-capable backend
+    additionally stay vectorized: ``step(n)`` drives the lockstep
+    :class:`_VectorizedAccumulator` (partial lockstep rows count chains
+    in round-robin order), and because its per-(chain, type) cells are
+    blocking-independent, a streamed session's final sums are
+    bit-identical to the one-shot ``run_estimation(...)`` of the same
+    seed.  Every other streamed run stays on the serial per-chain path
+    (whose chains=1 bit-parity with :func:`run_estimation` is part of
+    the protocol contract).
     """
 
     def __init__(
@@ -722,8 +860,44 @@ class SRWSession(Session):
         # vectorized) batch runner.
         self._walkers: List = []
         self._accumulators: List[_ChainAccumulator] = []
+        self._stream: Optional[_VectorizedAccumulator] = None
         self._cursor = 0
         self._delegated: Optional[Estimate] = None
+
+    def _chain_budgets(self) -> List[int]:
+        """The shared even budget split (bit-parity with the one-shot run)."""
+        return split_budget(self.budget, self._chains)
+
+    def _stream_capable(self) -> bool:
+        """Whether streaming can ride the vectorized CSS fast path."""
+        return (
+            self.spec.css
+            and self._chains > 1
+            and batch_capable(self.graph, self.spec.d)
+        )
+
+    def _ensure_stream(self) -> None:
+        if self._stream is not None:
+            return
+        # The engine derives its NumPy generator from the session rng with
+        # the same single draw _run_multichain makes, so a fully streamed
+        # session reproduces the one-shot batched run bit for bit.
+        engine = make_engine(
+            self.graph,
+            walk_space(self.spec.d),
+            self._chains,
+            non_backtracking=self.spec.nb,
+            rng=self._rng,
+            seed_node=self._seed_node,
+        )
+        self._stream = _VectorizedAccumulator(
+            self.graph,
+            self.spec,
+            self._alphas,
+            self._chain_budgets(),
+            engine,
+            self._burn_in,
+        )
 
     def _ensure_chains(self) -> None:
         if self._accumulators:
@@ -731,10 +905,7 @@ class SRWSession(Session):
         graph, spec, chains = self.graph, self.spec, self._chains
         space = walk_space(spec.d)
         effective_degree = _effective_degree_fn(graph, space, spec)
-        budget = self.budget
-        budgets = [
-            budget // chains + (1 if b < budget % chains else 0) for b in range(chains)
-        ]
+        budgets = self._chain_budgets()
         # One rng per chain, derived exactly like the serial multichain
         # runner (chains=1 keeps the caller's rng: bit-parity with
         # run_estimation).
@@ -760,7 +931,7 @@ class SRWSession(Session):
     def result(self) -> Estimate:
         if self._delegated is not None:
             return self._delegated
-        if self._consumed == 0 and not self._accumulators:
+        if self._consumed == 0 and not self._accumulators and self._stream is None:
             # Nothing streamed yet: run the whole budget through the
             # standard runner (vectorized on batch-capable backends).
             estimate = run_estimation(
@@ -779,6 +950,10 @@ class SRWSession(Session):
         return super().result()
 
     def _advance(self, n: int) -> None:
+        if self._stream_capable():
+            self._ensure_stream()
+            self._stream.advance(n)
+            return
         self._ensure_chains()
         walkers, accumulators = self._walkers, self._accumulators
         chains = len(accumulators)
@@ -802,6 +977,22 @@ class SRWSession(Session):
     def snapshot(self) -> Estimate:
         if self._delegated is not None:
             return self._delegated
+        if self._stream is not None:
+            stream = self._stream
+            chain_rows = [stream.chain_sums[b] for b in range(stream.chains)]
+            return Estimate(
+                method=self.spec.name,
+                k=self.spec.k,
+                steps=self.consumed,
+                samples=stream.valid_samples,
+                sums=stream.pooled_sums().copy(),
+                sample_counts=stream.sample_counts.copy(),
+                stderr=_between_chain_stderr(chain_rows),
+                elapsed_seconds=self._elapsed,
+                meta=_srw_meta(
+                    self.spec, self._alphas, self.graph, chains=stream.chains
+                ),
+            )
         if not self._accumulators and self._consumed == 0:
             # Before the first step: an all-zero partial estimate, without
             # touching the rng (keeps the unstreamed result() fast path).

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..core.result import Estimate
 from ..core.session import EstimationConfig
-from ..estimators import get as get_estimator
+from ..estimators import prepare
 from ..exact import exact_concentrations_cached
 from ..graphlets.catalog import graphlet_by_name, graphlets
 from ..graphs.graph import Graph
@@ -60,6 +60,8 @@ class TrialTask:
     budget: int
     seed: int
     seed_node: int
+    chains: int = 1
+    backend: Optional[str] = None
 
 
 def execute_task(graph: Graph, task: TrialTask) -> dict:
@@ -70,8 +72,10 @@ def execute_task(graph: Graph, task: TrialTask) -> dict:
         budget=task.budget,
         seed=task.seed,
         seed_node=task.seed_node,
+        chains=task.chains,
+        backend=task.backend,
     )
-    estimate = get_estimator(task.method).prepare(graph, config).result()
+    estimate = prepare(graph, config).result()
     return {
         "index": task.index,
         "trial": task.trial,
@@ -80,6 +84,8 @@ def execute_task(graph: Graph, task: TrialTask) -> dict:
         "budget": task.budget,
         "seed": task.seed,
         "seed_node": task.seed_node,
+        "chains": task.chains,
+        "backend": task.backend,
         "estimate": estimate.to_dict(),
     }
 
@@ -155,6 +161,8 @@ def build_tasks(spec: ExperimentSpec, graph: Graph) -> List[TrialTask]:
                     budget=spec.budget,
                     seed=seeds[t],
                     seed_node=starts[t],
+                    chains=spec.chains,
+                    backend=spec.backend,
                 )
             )
     return tasks

@@ -26,12 +26,22 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..graphs.csr import BACKENDS
 from ..graphs.datasets import list_datasets, load_dataset
 from ..graphs.generators import barabasi_albert
 from ..graphs.graph import Graph
 
 #: Recognized per-trial seed derivations (see :func:`seed_stream`).
 SEED_STRATEGIES = ("spawn", "sequential")
+
+#: Built-in methods with no chain-splitting notion (i.i.d./MH baselines
+#: and the oracle; their adapters reject ``chains > 1`` at prepare time).
+#: Validated here so a mis-shaped spec fails at construction instead of
+#: mid-sweep inside a worker process; unknown/custom method names pass
+#: through and fail (or not) at their adapter, as before.
+CHAINLESS_METHODS = frozenset(
+    {"guise", "wedge", "wedge_mhrw", "path_sampling", "hardiman_katzir", "exact"}
+)
 
 
 def resolve_graph(source: str) -> Graph:
@@ -128,6 +138,13 @@ class ExperimentSpec:
         (``None`` picks the rarest type with positive ground truth).
     description:
         Free-text provenance recorded in the summary artifact.
+    chains:
+        Independent chains each trial's budget is split over (walk
+        methods only; 1 keeps the historical single-chain trials).
+    backend:
+        Storage backend each trial converts the graph to before running
+        (``"csr"`` unlocks the vectorized multi-chain kernels; ``None``
+        keeps the graph as resolved).
     """
 
     name: str
@@ -141,6 +158,8 @@ class ExperimentSpec:
     starts: str = "random"
     target: Optional[str] = None
     description: str = ""
+    chains: int = 1
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "methods", tuple(self.methods))
@@ -166,6 +185,28 @@ class ExperimentSpec:
                 raise ValueError(
                     f"starts must be 'random' or 'fixed:<node>', got {self.starts!r}"
                 )
+        if self.chains < 1:
+            raise ValueError(f"chains must be >= 1, got {self.chains}")
+        if self.chains != 1:
+            chainless = sorted(
+                m for m in self.methods
+                if m.lower().replace("-", "_") in CHAINLESS_METHODS
+            )
+            if chainless:
+                raise ValueError(
+                    f"chains={self.chains} but method(s) {', '.join(chainless)} "
+                    "have no chain-splitting notion; put walk methods and "
+                    "baselines in separate specs"
+                )
+        if self.budget < self.chains:
+            raise ValueError(
+                f"need at least one transition per chain: budget={self.budget} "
+                f"< chains={self.chains}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
     # ------------------------------------------------------------------
     # Derived per-trial parameters
@@ -213,5 +254,12 @@ class ExperimentSpec:
             "seed_strategy": self.seed_strategy,
             "starts": self.starts,
         }
+        # Execution-shape fields joined the spec later; they enter the
+        # hash only when set, so every pre-existing spec (and its
+        # checked-in trajectory artifacts) keeps its fingerprint.
+        if self.chains != 1:
+            payload["chains"] = self.chains
+        if self.backend is not None:
+            payload["backend"] = self.backend
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]

@@ -11,6 +11,11 @@ existed; new suites default to the SeedSequence ``"spawn"`` stream.
 (no data-file dependency), two methods, seconds of work — small enough
 to run twice per CI push (``--jobs 2`` vs ``--jobs 1``) to prove
 parallel/serial bit-identity on every change.
+
+``css-speedup`` is the fast-path throughput suite: batched SRW2+CSS
+(and plain SRW2 for contrast) at ``chains=256`` on the CSR backend over
+a generated BA graph, so the vectorized CSS pipeline's steps/sec lands
+in the ``BENCH_*`` trajectory artifacts commit over commit.
 """
 
 from __future__ import annotations
@@ -40,6 +45,29 @@ def _smoke() -> Tuple[ExperimentSpec, ...]:
             starts="random",
             target="triangle",
             description="CI trajectory suite on a generated BA(180, 3) graph",
+        ),
+    )
+
+
+def _css_speedup() -> Tuple[ExperimentSpec, ...]:
+    return (
+        ExperimentSpec(
+            name="css-speedup",
+            graph="ba:2000:6:3",
+            k=4,
+            methods=("SRW2CSS", "SRW2"),
+            budget=256_000,
+            trials=3,
+            base_seed=17,
+            seed_strategy="spawn",
+            starts="random",
+            target="clique",
+            chains=256,
+            backend="csr",
+            description=(
+                "CSS fast-path throughput: vectorized SRW2[CSS] at "
+                "chains=256 on the CSR backend"
+            ),
         ),
     )
 
@@ -197,6 +225,7 @@ def _fig8() -> Tuple[ExperimentSpec, ...]:
 
 _SUITES = {
     "smoke": _smoke,
+    "css-speedup": _css_speedup,
     "fig4": _fig4,
     "fig5": _fig5,
     "fig6": _fig6,

@@ -8,9 +8,14 @@ Signatures are a complete invariant for connected graphs with k <= 4 but
 
 * :func:`signature_candidates` — signature -> candidate graphlet indices,
 * :func:`classify_by_signature` — fast path that falls back to the canonical
-  certificate only on ambiguous signatures, and
+  certificate only on ambiguous signatures,
 * :func:`ambiguous_signatures` — the collision inventory, used by tests and
-  by the cache-ablation benchmark.
+  by the cache-ablation benchmark, and
+* :func:`classification_table` — the fully materialized classifier: one
+  dense NumPy array mapping every labeled k-node bitmask to its graphlet
+  index (-1 for disconnected), so batched window classification is a
+  single fancy-indexing gather (the kernel behind the vectorized
+  estimation paths in :mod:`repro.core.estimator`).
 
 In this library the labeled-bitmask cache in :mod:`repro.graphlets.catalog`
 already amortizes full canonicalization, so the signature path is an
@@ -23,7 +28,9 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
-from .catalog import graphlets
+import numpy as np
+
+from .catalog import classify_bitmask, graphlets
 from .isomorphism import canonical_certificate, degree_sequence_of_mask
 
 Signature = Tuple[int, ...]
@@ -75,6 +82,26 @@ def classify_by_signature(mask: int, k: int) -> int:
         if graphlets(k)[index].certificate == cert:
             return index
     raise KeyError(f"bitmask {mask:#x} matched no graphlet with its signature")
+
+
+@lru_cache(maxsize=None)
+def classification_table(k: int) -> np.ndarray:
+    """Graphlet index per labeled k-node bitmask (-1 for disconnected).
+
+    A dense array version of
+    :func:`repro.graphlets.catalog.classify_bitmask`, built once per k
+    (at most ``2^C(k, 2)`` entries — 1024 for k = 5) so classifying a
+    whole block of windows is one fancy-indexing gather.  Read-only:
+    callers must not mutate the returned array.
+    """
+    size = 1 << (k * (k - 1) // 2)
+    table = np.full(size, -1, dtype=np.int64)
+    for mask in range(size):
+        try:
+            table[mask] = classify_bitmask(mask, k)
+        except KeyError:
+            pass
+    return table
 
 
 def signature_of_nodes(graph, nodes: Sequence[int]) -> Signature:

@@ -19,6 +19,14 @@ from .mixing import (
     transition_matrix,
 )
 from .walkers import NonBacktrackingWalk, SimpleWalk, make_engine, make_walk
+from .windows import (
+    as_stream,
+    distinct_window_nodes,
+    induced_bitmasks,
+    label_pairs,
+    sliding_windows,
+    state_degrees,
+)
 
 __all__ = [
     "BatchedMetropolisHastingsWalk",
@@ -26,10 +34,16 @@ __all__ = [
     "MetropolisHastingsWalk",
     "NonBacktrackingWalk",
     "SimpleWalk",
+    "as_stream",
     "batch_capable",
+    "distinct_window_nodes",
     "effective_sample_size",
+    "induced_bitmasks",
+    "label_pairs",
     "make_engine",
     "make_walk",
+    "sliding_windows",
+    "state_degrees",
     "mixing_time_exact",
     "mixing_time_spectral",
     "slem",

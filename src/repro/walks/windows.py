@@ -1,0 +1,129 @@
+"""Vectorized window classification for batched multi-chain walks.
+
+A batched run produces *time-major state blocks* — arrays of shape
+``(steps, B)`` (d = 1) or ``(steps, B, 2)`` (d = 2) from
+:meth:`~repro.walks.batched.BatchedWalkEngine.step_block`.  Algorithm 1
+turns every run of ``l`` consecutive states of one chain into a window,
+keeps the windows covering exactly k distinct nodes, and classifies each
+survivor by the labeled bitmask of its induced subgraph.  Doing that per
+window in Python is what kept CSS estimation an order of magnitude
+behind the vectorized walk kernels; this module does the whole block at
+once:
+
+* :func:`sliding_windows` — a zero-copy ``(t, B, d, l)`` view over a
+  state stream, one sliding window per (time, chain) pair;
+* :func:`distinct_window_nodes` — row-wise sort + run-length dedup that
+  keeps only windows covering exactly k distinct nodes;
+* :func:`induced_bitmasks` — the labeled induced-subgraph bitmask of
+  every surviving window via the CSR backend's batched ``has_edges``
+  (one ``searchsorted`` over the global edge-key array per label pair —
+  no Python per-edge loops);
+* :func:`state_degrees` — G(d) degrees of whole state arrays for
+  d <= 2, with the NB-SRW nominal-degree variant.
+
+Everything here is estimator-agnostic: the functions know about graphs,
+states and bitmasks but not about alpha tables or CSS weights, so the
+module sits with the walk kernels (below ``core``) and both the basic
+and the CSS accumulation paths in :mod:`repro.core.estimator` share it.
+
+Bitmask convention: for the sorted distinct node list ``n_0 < … <
+n_{k-1}``, bit ``b`` of the mask is the adjacency of the pair
+``(n_i, n_j)`` with ``(i, j)`` the ``b``-th entry of
+:func:`label_pairs` — identical to the serial loop's bit layout and to
+:func:`repro.graphlets.isomorphism` helpers, so masks feed straight into
+``classify_bitmask`` / ``css_templates``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def label_pairs(k: int) -> Tuple[Tuple[int, int], ...]:
+    """Label-position pairs ``(i, j)``, ``i < j``, in bit order."""
+    return tuple((i, j) for i in range(k) for j in range(i + 1, k))
+
+
+def as_stream(block: np.ndarray, chains: int, d: int) -> np.ndarray:
+    """Normalize engine output to a ``(steps, B, d)`` state stream.
+
+    ``step_block`` returns ``(steps, B)`` for d = 1 and ``(steps, B, 2)``
+    for d = 2; a single ``states()`` snapshot reshapes the same way with
+    ``steps = 1``.
+    """
+    return block.reshape(-1, chains, d)
+
+
+def sliding_windows(stream: np.ndarray, l: int) -> np.ndarray:
+    """All length-``l`` sliding windows of a ``(T, B, d)`` state stream.
+
+    Returns a zero-copy view of shape ``(T - l + 1, B, d, l)``: entry
+    ``[w, b]`` is chain ``b``'s window starting at stream row ``w``
+    (window axis last, per NumPy's ``sliding_window_view``).
+    """
+    if stream.shape[0] < l:
+        raise ValueError(
+            f"stream has {stream.shape[0]} rows; need at least l={l} for one window"
+        )
+    return np.lib.stride_tricks.sliding_window_view(stream, l, axis=0)
+
+
+def distinct_window_nodes(
+    node_rows: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Filter window node multisets down to valid k-node windows.
+
+    ``node_rows`` is ``(W, m)`` — one row per window, the multiset of the
+    ``m = d * l`` node ids its states cover.  Returns ``(valid, uniq)``:
+    ``valid`` flags the rows covering exactly k distinct nodes and
+    ``uniq`` is the ``(valid.sum(), k)`` array of their sorted distinct
+    nodes — the exact node lists the serial loop derives from its window
+    multiset dict.
+    """
+    srt = np.sort(node_rows, axis=1)
+    fresh = np.ones(srt.shape, dtype=bool)
+    fresh[:, 1:] = srt[:, 1:] != srt[:, :-1]
+    valid = fresh.sum(axis=1) == k
+    uniq = srt[valid][fresh[valid]].reshape(-1, k)
+    return valid, uniq
+
+
+def induced_bitmasks(graph, uniq: np.ndarray, k: int) -> np.ndarray:
+    """Labeled induced-subgraph bitmask of every sorted k-node row.
+
+    One batched ``graph.has_edges`` probe per label pair answers the
+    whole column of adjacency questions at once; ``graph`` must expose
+    the vectorized probe (the CSR backend).  Bit order follows
+    :func:`label_pairs`, matching the serial classification loop.
+    """
+    bits = np.zeros(uniq.shape[0], dtype=np.int64)
+    for bit, (i, j) in enumerate(label_pairs(k)):
+        bits |= graph.has_edges(uniq[:, i], uniq[:, j]).astype(np.int64) << bit
+    return bits
+
+
+def state_degrees(
+    graph, states: np.ndarray, d: int, nominal: bool = False
+) -> np.ndarray:
+    """G(d) degree of every state in an ``(..., d)`` id array (d <= 2).
+
+    Uses the closed forms the paper recommends walking with — ``deg(v)``
+    for d = 1, ``deg(u) + deg(v) - 2`` for d = 2 — gathered from the
+    backend's ``degrees_array``.  ``nominal=True`` applies the NB-SRW
+    nominal degree ``d' = max(d - 1, 1)`` (§4.2) elementwise, matching
+    :func:`repro.core.expanded_chain.nominal_degree`.
+    """
+    if d not in (1, 2):
+        raise ValueError(f"vectorized state degrees cover d in (1, 2), got d={d}")
+    degs = graph.degrees_array
+    if d == 1:
+        out = degs[states[..., 0]]
+    else:
+        out = degs[states[..., 0]] + degs[states[..., 1]] - 2
+    if nominal:
+        out = np.maximum(out - 1, 1)
+    return out

@@ -1,8 +1,22 @@
-"""Shared fixtures: small reference graphs used across the test suite."""
+"""Shared fixtures: small reference graphs used across the test suite,
+plus the pinned hypothesis profiles.
+
+Hypothesis profiles
+-------------------
+``dev`` (the default) explores fresh random examples every run — best
+for finding new counterexamples locally.  ``ci`` is fully derandomized
+(examples are a pure function of each test, no timing-sensitive
+deadlines or health checks), so the property-based suites can gate CI
+without ever flaking; the workflow selects it via
+``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graphs import Graph, load_dataset
 from repro.graphs.generators import (
@@ -11,6 +25,15 @@ from repro.graphs.generators import (
     path_graph,
     star_graph,
 )
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -223,11 +223,20 @@ class TestMultiChain:
             ("SRW2NB", 4, 0),
             ("SRW1NB", 4, 3),
             ("SRW2", 5, 0),
+            ("SRW2CSS", 4, 0),
+            ("SRW1CSS", 3, 5),
+            ("SRW1CSSNB", 3, 0),
+            ("SRW1CSS", 4, 3),
+            ("SRW2CSSNB", 5, 0),
+            ("SRW2CSS", 5, 0),
         ],
     )
     def test_vectorized_accumulation_matches_python(self, karate, method, k, burn_in):
-        """The one-pass vectorized window pipeline (basic estimator) must
-        process exactly the windows the per-chain Python accumulators do."""
+        """The one-pass vectorized window pipeline must process exactly
+        the windows the per-chain Python accumulators do.  Basic sums
+        agree to rounding (different float grouping); CSS sums are
+        **bit-identical** — the fast path reproduces the reference's
+        per-window weights and per-(chain, type) addition order."""
         from repro.core.alpha import alpha_table
         from repro.core.estimator import _batched_python, _batched_vectorized
 
@@ -245,7 +254,47 @@ class TestMultiChain:
         s2, c2, v2 = _batched_vectorized(csr, spec, alphas, budgets, engines[1], burn_in)
         assert np.array_equal(c1, c2)
         assert v1 == v2
-        assert np.allclose(s1, s2, rtol=1e-9)
+        if spec.css:
+            assert np.array_equal(s1, s2)
+        else:
+            assert np.allclose(s1, s2, rtol=1e-9)
+
+    def test_streamed_css_session_matches_one_shot(self, karate):
+        """Streaming a batch-capable CSS session in ragged step sizes
+        reproduces the one-shot vectorized run bit for bit (the
+        per-(chain, type) cells are blocking-independent)."""
+        from repro.core.estimator import SRWSession
+
+        csr = CSRGraph.from_graph(karate)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        one = run_estimation(csr, spec, 10_007, rng=random.Random(5), chains=3,
+                             burn_in=11)
+        session = SRWSession(csr, spec, 10_007, rng=random.Random(5), burn_in=11,
+                             chains=3)
+        while session.step(333):
+            pass
+        streamed = session.result()
+        assert np.array_equal(one.sums, streamed.sums)
+        assert np.array_equal(one.sample_counts, streamed.sample_counts)
+        assert one.samples == streamed.samples
+        # Streamed snapshots additionally carry a between-chain stderr.
+        assert streamed.stderr is not None
+
+    def test_streamed_css_snapshot_is_partial(self, karate):
+        """Mid-stream snapshots report only what was consumed and do not
+        disturb the stream."""
+        from repro.core.estimator import SRWSession
+
+        csr = CSRGraph.from_graph(karate)
+        spec = MethodSpec.parse("SRW1CSS", 3)
+        session = SRWSession(csr, spec, 6_000, rng=random.Random(7), chains=4)
+        session.step(1_000)
+        partial = session.snapshot()
+        assert partial.steps == 1_000
+        assert 0 < partial.samples <= 1_000
+        final = session.result()
+        assert final.steps == 6_000
+        assert final.samples >= partial.samples
 
     def test_chain_validation(self, karate):
         spec = MethodSpec.parse("SRW2CSS", 4)
@@ -305,6 +354,53 @@ class TestBatchedEngine:
         for _ in range(50):
             states = engine.step()
             assert np.all((states == 0) | (engine._prev == 0))
+
+    def test_nb_forced_backtrack_on_degree1_edge_state(self):
+        # Regression for the d = 2 NB edge case: on the path 0-1-2 both
+        # G(2) states (0,1) and (1,2) have degree d_u + d_v - 2 = 1, so a
+        # chain pinned there has no alternative to its previous state and
+        # the forced-backtrack rule (§4.2) must fire every step — the NB
+        # rejection loop must not retry (it would spin forever) and the
+        # walk must alternate between the two edges indefinitely.
+        from repro.graphs import path_graph
+
+        csr = CSRGraph.from_graph(path_graph(3))
+        engine = BatchedWalkEngine(
+            csr, 2, 4, np.random.default_rng(5), non_backtracking=True, seed_node=1
+        )
+        prev = engine.states().copy()
+        engine.step()
+        for _ in range(30):
+            nxt = engine.step().copy()
+            assert np.array_equal(nxt, prev)  # every step is a forced backtrack
+            prev = engine._prev.copy()
+
+    def test_nb_d2_forced_backtrack_invariant_mixed_lanes(self):
+        # A triangle with a pendant tail: chains roam freely on the
+        # triangle but any lane entering the degree-1 state (3, 4) must
+        # backtrack to (2, 3) on its next step, while other lanes keep
+        # their never-backtrack guarantee.
+        g = Graph(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+        csr = CSRGraph.from_graph(g)
+        degs = csr.degrees_array
+        engine = BatchedWalkEngine(
+            csr, 2, 16, np.random.default_rng(6), non_backtracking=True, seed_node=2
+        )
+        cur = engine.step().copy()
+        prev = engine._prev.copy()
+        forced_seen = 0
+        for _ in range(300):
+            state_deg = degs[cur[:, 0]] + degs[cur[:, 1]] - 2
+            nxt = engine.step().copy()
+            pinned = state_deg == 1
+            forced_seen += int(pinned.sum())
+            # Degree-1 states force a backtrack; every other lane must not
+            # revisit its previous state.
+            assert np.array_equal(nxt[pinned], prev[pinned])
+            free = ~pinned
+            assert not np.any((nxt[free] == prev[free]).all(axis=1))
+            prev, cur = cur, nxt
+        assert forced_seen > 0  # the walk actually visited the pinned state
 
     def test_validation(self, karate):
         csr = CSRGraph.from_graph(karate)

@@ -87,6 +87,42 @@ class TestExperimentSpec:
         with pytest.raises(ValueError, match="basename"):
             dataclasses.replace(SPEC, name="a/b")
 
+    def test_execution_shape_validation(self):
+        with pytest.raises(ValueError, match="chains"):
+            dataclasses.replace(SPEC, chains=0)
+        with pytest.raises(ValueError, match="one transition per chain"):
+            dataclasses.replace(SPEC, chains=SPEC.budget + 1)
+        with pytest.raises(ValueError, match="unknown backend"):
+            dataclasses.replace(SPEC, backend="sparse")
+        # Chainless baselines fail at spec construction, not mid-sweep
+        # inside a worker process.
+        with pytest.raises(ValueError, match="wedge_mhrw"):
+            dataclasses.replace(SPEC, methods=("SRW1", "wedge_mhrw"), chains=8)
+        assert dataclasses.replace(SPEC, methods=("SRW1", "wedge_mhrw")).chains == 1
+
+    def test_execution_shape_hash_compatibility(self):
+        """Default chains/backend leave pre-existing fingerprints alone
+        (checked-in trajectory artifacts stay valid); non-default values
+        change results and therefore the hash."""
+        assert (
+            dataclasses.replace(SPEC, chains=1, backend=None).config_hash()
+            == SPEC.config_hash()
+        )
+        assert dataclasses.replace(SPEC, chains=8).config_hash() != SPEC.config_hash()
+        assert (
+            dataclasses.replace(SPEC, backend="csr").config_hash()
+            != SPEC.config_hash()
+        )
+
+    def test_batched_trials_carry_chains(self):
+        """chains/backend ride the task into every trial's estimate."""
+        spec = dataclasses.replace(
+            SPEC, name="batched", chains=4, backend="csr", methods=("SRW2CSS",), k=4
+        )
+        result = run_experiment(spec, jobs=1)
+        for estimate in result.method_estimates("SRW2CSS"):
+            assert estimate.chains == 4
+
     def test_fixed_starts(self):
         spec = dataclasses.replace(SPEC, starts="fixed:7")
         graph = resolve_graph(spec.graph)
