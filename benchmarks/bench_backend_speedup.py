@@ -11,15 +11,19 @@ Not a paper table — this benchmarks the repo's own CSR tentpole on a
   path vs the CSR multi-chain path at the same total step budget — for
   the basic estimator **and** for CSS, whose window re-weighting now runs
   through the compiled weight-table fast path;
+* *the d = 3 regime*: end-to-end SRW3 (k = 4) — the walk the paper's
+  Table 6 singles out as an order of magnitude slower per step — against
+  the generalized engine's swap-frontier kernels at chains = 256;
 * *compatibility*: fixed-seed single-chain results are identical on both
-  backends, and the batched CSS sums are bit-identical to the per-chain
-  Python reference accumulators at B = 256, so the speed knobs never
-  silently change reported numbers.
+  backends, and the batched sums (basic *and* CSS, d = 2 and d = 3) are
+  bit-identical to the per-chain Python reference accumulators at
+  B = 256, so the speed knobs never silently change reported numbers.
 
 Asserted claims: >= 3x walk throughput for both d = 1 and d = 2, >= 1.5x
 end-to-end SRW2 estimation, >= 2x end-to-end SRW2+CSS estimation (the
-measured figure is ~4-5x; see ``extra_info``), and bit-identical
-default-backend / reference-accumulator results.
+measured figure is ~4-5x; see ``extra_info``), >= 3x end-to-end SRW3
+estimation (measured ~4x), and bit-identical default-backend /
+reference-accumulator results.
 """
 
 from __future__ import annotations
@@ -169,6 +173,50 @@ def test_backend_speedup(benchmark):
     assert np.array_equal(c_ref, c_vec)
     assert v_ref == v_vec
 
+    # End-to-end d = 3 at the same batch width: the swap-frontier kernels
+    # close the complexity-regime gap of Table 6 — walks on G(3) used to
+    # fall back to the serial Python loop whatever the backend.
+    spec3 = MethodSpec.parse("SRW3", 4)
+    budget3 = 20_000
+    start = time.perf_counter()
+    run_estimation(graph, spec3, budget3, rng=random.Random(2))
+    t3_list = time.perf_counter() - start
+    start = time.perf_counter()
+    run_estimation(csr, spec3, budget3, rng=random.Random(2), chains=CHAINS)
+    t3_csr = time.perf_counter() - start
+    emit(
+        "End-to-end SRW3 (k=4) estimation",
+        format_table(
+            ["path", "seconds", "steps/s"],
+            [
+                ["list, 1 chain", f"{t3_list:.2f}", f"{budget3 / t3_list:,.0f}"],
+                [
+                    f"csr, {CHAINS} chains",
+                    f"{t3_csr:.2f}",
+                    f"{budget3 / t3_csr:,.0f}",
+                ],
+            ],
+        ),
+    )
+    assert t3_list / t3_csr >= MIN_SPEEDUP
+    # Pooled bit-identity at full batch width: the vectorized d = 3
+    # pipeline must reproduce the per-chain reference accumulators'
+    # sums exactly, not approximately.
+    alphas3 = alpha_table(4, 3)
+    budgets3 = split_budget(budget3, CHAINS)
+    engines3 = [
+        BatchedWalkEngine(csr, 3, CHAINS, np.random.default_rng(9)) for _ in range(2)
+    ]
+    s3_ref, c3_ref, v3_ref = _batched_python(
+        csr, spec3, alphas3, budgets3, engines3[0], 0
+    )
+    s3_vec, c3_vec, v3_vec = _batched_vectorized(
+        csr, spec3, alphas3, budgets3, engines3[1], 0
+    )
+    assert np.array_equal(s3_ref, s3_vec)
+    assert np.array_equal(c3_ref, c3_vec)
+    assert v3_ref == v3_vec
+
     # Fixed-seed compatibility: the default path is unchanged, and CSR
     # single-chain reproduces it exactly.
     r_list = run_estimation(graph, spec, 2_000, rng=random.Random(3))
@@ -183,6 +231,7 @@ def test_backend_speedup(benchmark):
             "end_to_end_speedup": round(t_list / t_csr, 2),
             "css_end_to_end_speedup": round(t_css_list / t_css_vec, 2),
             "css_speedup_vs_python_accumulators": round(t_css_python / t_css_vec, 2),
+            "srw3_end_to_end_speedup": round(t3_list / t3_csr, 2),
         }
     )
     engine = BatchedWalkEngine(csr, 1, CHAINS, np.random.default_rng(4))

@@ -9,6 +9,14 @@ pure Python here) but the *ordering* is the claim:
 
 We measure all five on a tiny-tier dataset (walks at reduced step counts,
 extrapolated to 20K — the per-step cost is constant).
+
+Note: this table times the *serial single-chain* loops, which is what
+the paper's complexity argument is about.  Since the batched engine
+generalized to d >= 3, the SRW3/SRW4 gap is an engine-level cost (a few
+more NumPy passes per lockstep transition) rather than an
+algorithm-level one (a Python neighborhood enumeration per state) —
+``bench_backend_speedup.py`` asserts >= 3x end-to-end SRW3 at B = 256,
+and the ``srw3-speedup`` suite tracks its throughput trajectory.
 """
 
 from __future__ import annotations

@@ -297,13 +297,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         choices=("list", "csr"),
-        help="graph storage backend (csr enables vectorized multi-chain walks)",
+        help="graph storage backend (csr enables vectorized multi-chain "
+        "walks for every G(d), including SRW3/SRW4/PSRW)",
     )
     p.add_argument(
         "--chains",
         type=int,
         default=1,
-        help="independent walk chains to split the step budget over",
+        help="independent walk chains to split the step budget over "
+        "(without --backend csr the chains run serially and a "
+        "fallback warning is printed once)",
     )
     p.set_defaults(func=cmd_estimate)
 

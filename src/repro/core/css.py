@@ -116,7 +116,11 @@ class CSSWeightTable:
 
     Rows compile lazily, the first time a pattern is seen (connected
     k-node patterns number at most 728 for k = 5, so the table saturates
-    as quickly as the template cache it compiles from).
+    as quickly as the template cache it compiles from).  The table is
+    agnostic to how ``degree_fn`` computes state degrees, so it serves
+    every walk dimension: closed forms for d <= 2, the deduplicated
+    swap-frontier kernel of :mod:`repro.relgraph.vectorized` for d >= 3
+    (e.g. SRW3CSS windows on G(3)).
 
     Bit-compatibility contract
     --------------------------

@@ -19,13 +19,16 @@ aggregation the paper uses for its empirical-variance experiments.  Each
 chain is an independent walk (per-chain seeds derived from the caller's
 RNG); since every S_i is a sum over samples, pooling is exact: the merged
 result is distributed like one run whose samples came from B chains.  On
-the CSR backend with d <= 2 the chains advance in lockstep through the
-vectorized :class:`~repro.walks.batched.BatchedWalkEngine`, and window
-classification plus re-weighting — basic *and* CSS — run block-at-a-time
-through :class:`_VectorizedAccumulator` (CSS weights gather through the
-compiled :func:`~repro.core.css.css_weight_table`); on other backends
-chains run serially.  ``chains=1`` (the default) is byte-for-byte the
-seed estimator.
+the CSR backend — for *every* walk dimension d, including the expensive
+G(3)/G(4) regime of SRW3/SRW4/PSRW — the chains advance in lockstep
+through the vectorized :class:`~repro.walks.batched.BatchedWalkEngine`,
+and window classification plus re-weighting — basic *and* CSS — run
+block-at-a-time through :class:`_VectorizedAccumulator` (CSS weights
+gather through the compiled :func:`~repro.core.css.css_weight_table`,
+d >= 3 state degrees through the swap-frontier kernel of
+:mod:`repro.relgraph.vectorized`); on other backends chains run serially
+and a :class:`~repro.walks.batched.BatchFallbackWarning` is emitted once.
+``chains=1`` (the default) is byte-for-byte the seed estimator.
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ from ..graphlets.catalog import classify_bitmask
 from ..graphlets.signatures import classification_table
 from ..relgraph.spaces import WalkSpace, walk_space
 from ..walks import windows as windows_mod
-from ..walks.batched import batch_capable
+from ..walks.batched import batch_capable, warn_serial_fallback
 from ..walks.walkers import make_engine, make_walk
 from .alpha import alpha_table
 from .css import css_weight_table, sampling_weight
@@ -126,8 +129,9 @@ def split_budget(steps: int, chains: int) -> List[int]:
 def _between_chain_stderr(chain_sums: Sequence[np.ndarray]) -> Optional[np.ndarray]:
     """Per-type standard error of the mean across chain concentrations.
 
-    Needs at least two chains with positive total sums; returns None
-    otherwise (notably for the pooled-only vectorized kernels).
+    Fed by both multi-chain paths — the serial per-chain estimates and
+    the vectorized accumulator's per-(chain, type) cells.  Needs at
+    least two chains with positive total sums; returns None otherwise.
     """
     per_chain = []
     for sums in chain_sums:
@@ -183,7 +187,7 @@ def run_estimation(
         Number of independent chains the budget is split over.  With
         ``chains=1`` the estimator is bit-identical to the seed serial
         loop; with ``chains=B`` the pooled sums estimate the same
-        quantities (vectorized on the CSR backend for d <= 2).
+        quantities (vectorized on the CSR backend, any d).
     """
     if chains < 1:
         raise ValueError(f"chains must be >= 1, got {chains}")
@@ -498,8 +502,8 @@ def _batched_python(
             for b, acc in enumerate(accumulators):
                 if acc.done:
                     continue
-                for u, v in block[:, b].tolist():
-                    acc.push((u, v))
+                for row in block[:, b].tolist():
+                    acc.push(tuple(row))
     sums = np.zeros(len(alphas))
     sample_counts = np.zeros(len(alphas), dtype=np.int64)
     valid_samples = 0
@@ -522,18 +526,22 @@ class _VectorizedAccumulator:
     :func:`~repro.graphlets.signatures.classification_table`, and the
     re-weighting is
 
-    * **basic** — Theorem 2's ``1 / alpha_i`` times the product of
-      middle-state degrees, a row product pooled straight into one sums
-      vector (``np.bincount``);
+    * **basic** — Theorem 2's ``1 / alpha_i`` times the middle-state
+      degrees, multiplied in the serial loop's exact order
+      (``(1/alpha) * d_1 * d_2 …``);
     * **CSS** — Algorithm 3's ``1 / p~(X)`` through the compiled
-      :func:`~repro.core.css.css_weight_table`, scatter-added into
-      per-(chain, type) cells with ``np.add.at`` — which applies
-      duplicate indices *sequentially in order of appearance*, so every
-      cell accumulates its windows in time order exactly like a
-      :class:`_ChainAccumulator`, and the chain-ordered pooling of
-      :meth:`pooled_sums` is **bit-identical** to the per-chain Python
-      path (and independent of how the stream was blocked, which is what
-      lets streaming sessions reuse this class).
+      :func:`~repro.core.css.css_weight_table` (d >= 3 degrees via the
+      deduplicated swap-frontier kernel).
+
+    Both paths scatter-add into per-(chain, type) cells with
+    ``np.add.at`` — which applies duplicate indices *sequentially in
+    order of appearance*, so every cell accumulates its windows in time
+    order exactly like a :class:`_ChainAccumulator`, and the
+    chain-ordered pooling of :meth:`pooled_sums` is **bit-identical** to
+    the per-chain Python path (and independent of how the stream was
+    blocked, which is what lets streaming sessions reuse this class).
+    The cells also yield the between-chain standard error the serial
+    multi-chain path reports.
 
     ``budgets`` must be non-increasing (the even split of
     :func:`_run_multichain` always is): chain ``b``'s counted windows
@@ -564,12 +572,8 @@ class _VectorizedAccumulator:
         self.engine = engine
         self.classify = classification_table(spec.k)
         self.need_degrees = spec.l > 2
-        if spec.css:
-            self.weight_table = css_weight_table(spec.k, spec.d)
-            self.chain_sums = np.zeros((self.chains, self.num_types))
-        else:
-            self.weight_table = None
-            self.sums = np.zeros(self.num_types)
+        self.weight_table = css_weight_table(spec.k, spec.d) if spec.css else None
+        self.chain_sums = np.zeros((self.chains, self.num_types))
         self.sample_counts = np.zeros(self.num_types, dtype=np.int64)
         self.valid_samples = 0
         self.total = int(budgets_arr.sum())
@@ -582,9 +586,12 @@ class _VectorizedAccumulator:
         while discarded > 0:  # chunked so huge burn-ins don't allocate at once
             engine.step_block(min(discarded, 4096))
             discarded -= min(discarded, 4096)
-        # Tail = the l - 1 stream rows preceding the next window row:
-        # window-start states plus l - 2 prefill transitions, so each
-        # further transition completes exactly one window row.
+        # Tail = the max(l - 1, 1) stream rows preceding the next window
+        # row: window-start states plus l - 2 prefill transitions, so
+        # each further transition completes exactly one window row.  (For
+        # l = 1 — plain SRW on G(k) — the tail is the *current* state:
+        # the serial loop counts a window before each transition, so the
+        # window of transition t is the state t starts from.)
         tail = windows_mod.as_stream(engine.states().copy(), self.chains, spec.d)
         if spec.l > 2:
             tail = np.concatenate(
@@ -654,7 +661,7 @@ class _VectorizedAccumulator:
                 ]
             )
             self._process(stream, t, slice(0, width))
-            self._tail = stream[-(l - 1) :].copy()
+            self._tail = stream[-max(l - 1, 1) :].copy()
             self._row += t
             self._counted += t * width
             n -= t * width
@@ -665,7 +672,10 @@ class _VectorizedAccumulator:
         k, d, l = spec.k, spec.d, spec.l
         sub = stream[:, cols]
         width = sub.shape[1]
-        windows = windows_mod.sliding_windows(sub, l)  # (t, width, d, l)
+        # The first t window rows are the counted ones (for l = 1 the
+        # sliding view yields one extra row — the post-transition state,
+        # whose window belongs to the *next* counted step).
+        windows = windows_mod.sliding_windows(sub, l)[:t]  # (t, width, d, l)
         node_rows = windows.reshape(t * width, d * l)
         valid, uniq = windows_mod.distinct_window_nodes(node_rows, k)
         if not np.any(valid):
@@ -683,30 +693,30 @@ class _VectorizedAccumulator:
             if np.any(p_tilde <= 0):  # pragma: no cover - walk can't reach
                 raise RuntimeError("sampled window has zero CSS weight")
             weights = 1.0 / p_tilde
-            chain_ids = np.tile(np.arange(self.chains)[cols], t)[valid]
-            np.add.at(self.chain_sums, (chain_ids, types), weights)
         else:
+            weights = 1.0 / self.alpha_arr[types]
             if self.need_degrees:
-                deg_windows = windows_mod.sliding_windows(
+                middles = windows_mod.sliding_windows(
                     windows_mod.state_degrees(self.graph, sub, d, spec.nb), l
-                )
-                middle_product = deg_windows[:, :, 1:-1].prod(axis=2).ravel()
-                weights = middle_product[valid] / self.alpha_arr[types]
-            else:
-                weights = 1.0 / self.alpha_arr[types]
-            self.sums += np.bincount(types, weights=weights, minlength=self.num_types)
+                )[:t].reshape(t * width, l)[valid][:, 1:-1]
+                # Multiply one middle degree at a time, in window order —
+                # the serial loop's exact sequence, so basic sums stay
+                # bit-identical to the reference accumulators.
+                for j in range(middles.shape[1]):
+                    weights = weights * middles[:, j]
+        chain_ids = np.tile(np.arange(self.chains)[cols], t)[valid]
+        np.add.at(self.chain_sums, (chain_ids, types), weights)
         self.sample_counts += np.bincount(types, minlength=self.num_types)
         self.valid_samples += int(valid.sum())
 
     def pooled_sums(self) -> np.ndarray:
         """Per-type sums pooled over chains.
 
-        CSS pools the per-chain cells sequentially in chain order — the
+        Pools the per-chain cells sequentially in chain order — the
         exact addition sequence of the Python reference pooling — so the
-        result is bit-identical to :func:`_batched_python`.
+        result is bit-identical to :func:`_batched_python` (basic and
+        CSS alike).
         """
-        if not self.spec.css:
-            return self.sums
         sums = np.zeros(self.num_types)
         for b in range(self.chains):
             sums += self.chain_sums[b]
@@ -740,12 +750,14 @@ def _run_multichain(
 
     The total budget is split as evenly as possible (the first
     ``steps % chains`` chains take one extra transition).  On a CSR
-    backend with d <= 2 all chains advance in lockstep through the
+    backend all chains — any d — advance in lockstep through the
     vectorized engine with fully vectorized window accumulation for the
-    basic estimator *and* CSS (the compiled weight-table fast path;
-    CSS pooled sums are bit-identical to the per-chain Python
-    reference accumulators); otherwise each chain runs the serial loop
-    with its own RNG seeded from ``rng``.
+    basic estimator *and* CSS (pooled sums bit-identical to the
+    per-chain Python reference accumulators, between-chain stderr from
+    the per-chain cells); otherwise each chain runs the serial loop with
+    its own RNG seeded from ``rng``, after warning once
+    (:class:`~repro.walks.batched.BatchFallbackWarning`) that the run
+    degraded.
     """
     if steps < chains:
         raise ValueError(
@@ -767,10 +779,16 @@ def _run_multichain(
             rng=rng,
             seed_node=seed_node,
         )
-        sums, sample_counts, valid_samples = _batched_vectorized(
-            graph, spec, alphas, budgets, engine, burn_in
+        acc = _VectorizedAccumulator(graph, spec, alphas, budgets, engine, burn_in)
+        acc.advance(acc.total)
+        sums, sample_counts, valid_samples = (
+            acc.pooled_sums(),
+            acc.sample_counts,
+            acc.valid_samples,
         )
+        stderr = _between_chain_stderr([acc.chain_sums[b] for b in range(chains)])
     else:
+        warn_serial_fallback(graph, d, stacklevel=3)
         chain_results = [
             _run_walk(
                 graph,
@@ -820,15 +838,17 @@ class SRWSession(Session):
     ``repro.estimate(..., backend="csr", chains=B)`` is bit-identical
     to the pre-registry entry point.
 
-    Streamed **CSS** runs with ``chains > 1`` on a batch-capable backend
-    additionally stay vectorized: ``step(n)`` drives the lockstep
+    Streamed runs with ``chains > 1`` on a batch-capable backend — basic
+    and CSS, any d — stay vectorized: ``step(n)`` drives the lockstep
     :class:`_VectorizedAccumulator` (partial lockstep rows count chains
     in round-robin order), and because its per-(chain, type) cells are
     blocking-independent, a streamed session's final sums are
     bit-identical to the one-shot ``run_estimation(...)`` of the same
-    seed.  Every other streamed run stays on the serial per-chain path
-    (whose chains=1 bit-parity with :func:`run_estimation` is part of
-    the protocol contract).
+    seed.  Streamed multi-chain runs on other backends stay on the
+    serial per-chain path and warn once
+    (:class:`~repro.walks.batched.BatchFallbackWarning`); ``chains=1``
+    always streams serially — its bit-parity with
+    :func:`run_estimation` is part of the protocol contract.
     """
 
     def __init__(
@@ -869,12 +889,8 @@ class SRWSession(Session):
         return split_budget(self.budget, self._chains)
 
     def _stream_capable(self) -> bool:
-        """Whether streaming can ride the vectorized CSS fast path."""
-        return (
-            self.spec.css
-            and self._chains > 1
-            and batch_capable(self.graph, self.spec.d)
-        )
+        """Whether streaming can ride the vectorized multi-chain path."""
+        return self._chains > 1 and batch_capable(self.graph, self.spec.d)
 
     def _ensure_stream(self) -> None:
         if self._stream is not None:
@@ -903,6 +919,8 @@ class SRWSession(Session):
         if self._accumulators:
             return
         graph, spec, chains = self.graph, self.spec, self._chains
+        if chains > 1:
+            warn_serial_fallback(graph, spec.d, stacklevel=4)
         space = walk_space(spec.d)
         effective_degree = _effective_degree_fn(graph, space, spec)
         budgets = self._chain_budgets()

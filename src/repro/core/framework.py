@@ -51,7 +51,7 @@ class GraphletEstimator:
         Storage backend to run against: ``None`` keeps the graph as
         passed; ``"list"`` / ``"csr"`` convert via
         :func:`repro.graphs.as_backend` (CSR unlocks the vectorized
-        multi-chain kernels for d <= 2).
+        multi-chain kernels for every walk dimension d).
     chains:
         Number of independent walk chains the step budget is split over
         (see :func:`repro.core.run_estimation`).

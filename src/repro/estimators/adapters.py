@@ -5,8 +5,9 @@ Each adapter is a thin, stateless factory that validates the
 streaming :class:`~repro.core.session.Session`.  The module registers
 the full method table on import:
 
-* the framework grammar ``SRW{d}[CSS][NB]`` (``srw1`` … ``srw3nb``; any
-  other ``d`` resolves on demand),
+* the framework grammar ``SRW{d}[CSS][NB]`` (``srw1`` … ``srw4nb``,
+  including the d >= 3 methods the batched CSR engine now vectorizes;
+  any other combination resolves on demand),
 * the baselines PSRW, plain SRW-on-G(k), GUISE, wedge sampling,
   wedge-MHRW, 3-path sampling and Hardiman–Katzir,
 * the ``exact`` enumeration oracle.
@@ -246,7 +247,8 @@ def register_builtin_estimators() -> None:
         for name in (
             "srw1", "srw1nb", "srw1css", "srw1cssnb",
             "srw2", "srw2nb", "srw2css", "srw2cssnb",
-            "srw3", "srw3nb",
+            "srw3", "srw3nb", "srw3css", "srw3cssnb",
+            "srw4", "srw4nb",
         )
     ] + [
         PSRWEstimator(),

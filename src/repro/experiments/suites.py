@@ -16,6 +16,11 @@ parallel/serial bit-identity on every change.
 (and plain SRW2 for contrast) at ``chains=256`` on the CSR backend over
 a generated BA graph, so the vectorized CSS pipeline's steps/sec lands
 in the ``BENCH_*`` trajectory artifacts commit over commit.
+
+``srw3-speedup`` does the same for the d >= 3 hot path: batched SRW3
+(k = 4, PSRW's regime — the expensive walks of the paper's Table 6) at
+``chains=256`` on the CSR backend, tracking the swap-frontier engine's
+throughput commit over commit.
 """
 
 from __future__ import annotations
@@ -66,6 +71,29 @@ def _css_speedup() -> Tuple[ExperimentSpec, ...]:
             backend="csr",
             description=(
                 "CSS fast-path throughput: vectorized SRW2[CSS] at "
+                "chains=256 on the CSR backend"
+            ),
+        ),
+    )
+
+
+def _srw3_speedup() -> Tuple[ExperimentSpec, ...]:
+    return (
+        ExperimentSpec(
+            name="srw3-speedup",
+            graph="ba:2000:6:3",
+            k=4,
+            methods=("SRW3",),
+            budget=128_000,
+            trials=3,
+            base_seed=23,
+            seed_strategy="spawn",
+            starts="random",
+            target="clique",
+            chains=256,
+            backend="csr",
+            description=(
+                "d >= 3 fast-path throughput: vectorized SRW3 (k=4) at "
                 "chains=256 on the CSR backend"
             ),
         ),
@@ -226,6 +254,7 @@ def _fig8() -> Tuple[ExperimentSpec, ...]:
 _SUITES = {
     "smoke": _smoke,
     "css-speedup": _css_speedup,
+    "srw3-speedup": _srw3_speedup,
     "fig4": _fig4,
     "fig5": _fig5,
     "fig6": _fig6,

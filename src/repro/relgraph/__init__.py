@@ -14,16 +14,28 @@ from .spaces import (
     WalkSpaceError,
     walk_space,
 )
+from .vectorized import (
+    VectorEdgeSpace,
+    VectorNodeSpace,
+    VectorSpace,
+    VectorSubgraphSpace,
+    vector_space,
+)
 
 __all__ = [
     "EdgeSpace",
     "NodeSpace",
     "State",
     "SubgraphSpace",
+    "VectorEdgeSpace",
+    "VectorNodeSpace",
+    "VectorSpace",
+    "VectorSubgraphSpace",
     "WalkSpace",
     "WalkSpaceError",
     "enumerate_states",
     "relationship_edge_count",
     "relationship_graph",
+    "vector_space",
     "walk_space",
 ]

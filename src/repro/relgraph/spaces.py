@@ -30,7 +30,7 @@ where neighbor draws are pure index picks).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 State = Tuple[int, ...]
 
@@ -39,15 +39,28 @@ class WalkSpaceError(RuntimeError):
     """Raised when a walk space cannot operate on the given graph."""
 
 
-def _connected_in(graph, nodes: Sequence[int]) -> bool:
-    """Connectivity of the induced subgraph, via neighbor-set probes."""
+def _connected_in(graph, nodes: Sequence[int], nsets: Optional[dict] = None) -> bool:
+    """Connectivity of the induced subgraph, via neighbor-set probes.
+
+    ``nsets`` is an optional per-step memo of node -> neighbor set; the
+    hot serial loops (neighbor enumeration, degree, CSS weights) probe
+    the same few nodes dozens of times per transition, so fetching each
+    set once per step is a measurable win — especially for backends
+    whose ``neighbor_set`` does real work (the CSR bounded cache, the
+    crawl-accounting :class:`~repro.graphs.RestrictedGraph`).
+    """
     node_set = set(nodes)
     first = next(iter(node_set))
     stack = [first]
     seen = {first}
+    if nsets is None:
+        nsets = {}
     while stack:
         u = stack.pop()
-        for v in graph.neighbor_set(u):
+        u_adj = nsets.get(u)
+        if u_adj is None:
+            u_adj = nsets[u] = graph.neighbor_set(u)
+        for v in u_adj:
             if v in node_set and v not in seen:
                 seen.add(v)
                 stack.append(v)
@@ -188,13 +201,21 @@ class SubgraphSpace(WalkSpace):
         return tuple(sorted(nodes))
 
     def neighbors(self, graph, state: State) -> List[State]:
+        # One neighbor-set fetch per state node per enumeration: every
+        # node's set is probed by d - 1 swap-out iterations (and, in the
+        # generic path, by each candidate's connectivity BFS), so the
+        # per-step memo removes the dominant repeated lookups on the
+        # serial hot path.
+        nsets: Dict[int, FrozenSet[int]] = {
+            u: graph.neighbor_set(u) for u in state
+        }
         if self.d == 3:
-            return self._neighbors_d3(graph, state)
+            return self._neighbors_d3(state, nsets)
         if self.d == 4:
-            return self._neighbors_d4(graph, state)
-        return self._neighbors_generic(graph, state)
+            return self._neighbors_d4(state, nsets)
+        return self._neighbors_generic(graph, state, nsets)
 
-    def _neighbors_d3(self, graph, state: State) -> List[State]:
+    def _neighbors_d3(self, state: State, nsets: Dict) -> List[State]:
         """d = 3 fast path: connectivity of {x, y, w} reduces to set algebra.
 
         With w adjacent to x or y by construction, the new triple is
@@ -206,13 +227,13 @@ class SubgraphSpace(WalkSpace):
         result: List[State] = []
         for v_out in state:
             x, y = (u for u in state if u != v_out)
-            nx_, ny = graph.neighbor_set(x), graph.neighbor_set(y)
+            nx_, ny = nsets[x], nsets[y]
             valid = (nx_ | ny) if y in nx_ else (nx_ & ny)
             for w in valid - state_set:
                 result.append(tuple(sorted((x, y, w))))
         return result
 
-    def _neighbors_d4(self, graph, state: State) -> List[State]:
+    def _neighbors_d4(self, state: State, nsets: Dict) -> List[State]:
         """d = 4 fast path, by the remainder's internal edge structure:
 
         * remainder {x,y,z} connected (>= 2 internal edges): any w adjacent
@@ -225,11 +246,7 @@ class SubgraphSpace(WalkSpace):
         result: List[State] = []
         for v_out in state:
             x, y, z = (u for u in state if u != v_out)
-            nx_, ny, nz = (
-                graph.neighbor_set(x),
-                graph.neighbor_set(y),
-                graph.neighbor_set(z),
-            )
+            nx_, ny, nz = nsets[x], nsets[y], nsets[z]
             edges = []
             if y in nx_:
                 edges.append((x, y))
@@ -242,29 +259,27 @@ class SubgraphSpace(WalkSpace):
             elif len(edges) == 1:
                 (a, b) = edges[0]
                 (lone,) = (u for u in (x, y, z) if u not in (a, b))
-                valid = graph.neighbor_set(lone) & (
-                    graph.neighbor_set(a) | graph.neighbor_set(b)
-                )
+                valid = nsets[lone] & (nsets[a] | nsets[b])
             else:
                 valid = nx_ & ny & nz
             for w in valid - state_set:
                 result.append(tuple(sorted((x, y, z, w))))
         return result
 
-    def _neighbors_generic(self, graph, state: State) -> List[State]:
+    def _neighbors_generic(self, graph, state: State, nsets: Dict) -> List[State]:
         state_set = set(state)
         result: List[State] = []
         for v_out in state:
             remainder = [u for u in state if u != v_out]
             candidates = {
-                w
-                for u in remainder
-                for w in graph.neighbor_set(u)
-                if w not in state_set
+                w for u in remainder for w in nsets[u] if w not in state_set
             }
             for v_in in candidates:
                 new_nodes = remainder + [v_in]
-                if _connected_in(graph, new_nodes):
+                # The memo carries candidate sets across the whole
+                # enumeration too — hub candidates recur for several
+                # swap-out choices.
+                if _connected_in(graph, new_nodes, nsets):
                     result.append(tuple(sorted(new_nodes)))
         return result
 

@@ -1,0 +1,438 @@
+"""Vectorized walk spaces over the CSR backend: whole blocks of chains.
+
+The serial :mod:`repro.relgraph.spaces` advance one chain at a time; the
+classes here advance **B chain states per NumPy call** and are what the
+batched engine (:class:`repro.walks.batched.BatchedWalkEngine`) steps
+through.  Three spaces cover every G(d):
+
+* :class:`VectorNodeSpace` (d = 1) and :class:`VectorEdgeSpace` (d = 2)
+  lift the paper's O(1) neighbor draws to fancy-indexing gathers over the
+  CSR ``indptr``/``indices`` arrays — unchanged from the original batched
+  kernels, including their exact RNG consumption;
+* :class:`VectorSubgraphSpace` (d >= 3) vectorizes §5's swap-one-node
+  neighbor structure for a whole block of states at once: swap-candidate
+  frontiers come from one ragged gather of CSR rows, induced-connectivity
+  masks from batched ``searchsorted`` edge probes plus a precomputed
+  component table over labeled d-node patterns, and uniform neighbor
+  draws from two-stage sampling (swap-out position by prefix-sum over
+  per-position candidate counts, then the swap-in node by rank).
+
+Sampling semantics for d >= 3 are *canonical*: a state's G(d) neighbors
+are ordered by swap-out position (ascending position in the sorted state
+tuple), then by swap-in node id, and one uniform variate per chain per
+transition selects by rank.  A fixed seed therefore reproduces a simple
+per-chain Python reference (draw the same variates, walk the same ordered
+list) bit for bit — the parity suite in ``tests/test_vectorized_d3.py``
+pins exactly that.
+
+Degrees are exact: ``degrees`` counts the same distinct valid
+``(swap-out, swap-in)`` pairs :meth:`SubgraphSpace.neighbors
+<repro.relgraph.spaces.SubgraphSpace.neighbors>` enumerates, so the CSS
+weight table evaluated over vectorized degrees is bit-identical to the
+serial ``sampling_weight`` path.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .spaces import WalkSpaceError
+
+#: States per block when evaluating degrees of large state tensors (CSS
+#: middle states); bounds the frontier scratch arrays.
+_DEGREE_CHUNK = 8192
+
+
+def _pair_order(d: int) -> Tuple[Tuple[int, int], ...]:
+    """Label-position pairs ``(i, j)``, ``i < j``, in bitmask bit order
+    (identical to :func:`repro.walks.windows.label_pairs`)."""
+    return tuple((i, j) for i in range(d) for j in range(i + 1, d))
+
+
+@lru_cache(maxsize=None)
+def _validity_table(d: int) -> np.ndarray:
+    """Swap-candidate validity, precomputed per labeled pattern.
+
+    A swap-in candidate keeps the state connected iff it touches *every*
+    connected component of the remainder.  Which remainder positions a
+    candidate neighbors is a ``d - 1``-bit bitmap, and the component
+    structure depends only on the labeled pattern of the state and the
+    swap-out position — so validity is a pure table lookup: entry
+    ``[(mask * d + out) << (d - 1) | bitmap]`` says whether a candidate
+    adjacent to exactly the remainder positions in ``bitmap`` (bit ``p``
+    = the ``p``-th remaining node in state order, skipping ``out``)
+    yields a connected state.  Flat layout so the hot path is one 1-D
+    fancy-index gather; at most ``2^10 * 5 * 2^4`` entries for d = 5.
+    """
+    pairs = _pair_order(d)
+    n_masks = 1 << len(pairs)
+    n_bitmaps = 1 << (d - 1)
+    table = np.zeros(n_masks * d * n_bitmaps, dtype=bool)
+    for mask in range(n_masks):
+        adj = [[False] * d for _ in range(d)]
+        for bit, (i, j) in enumerate(pairs):
+            if mask >> bit & 1:
+                adj[i][j] = adj[j][i] = True
+        for out in range(d):
+            remainder = [p for p in range(d) if p != out]
+            comp = {p: -1 for p in remainder}
+            members: list = []  # position-bit mask of each component
+            for p in remainder:
+                if comp[p] >= 0:
+                    continue
+                stack = [p]
+                comp[p] = len(members)
+                component_bits = 0
+                while stack:
+                    x = stack.pop()
+                    component_bits |= 1 << remainder.index(x)
+                    for q in remainder:
+                        if comp[q] < 0 and adj[x][q]:
+                            comp[q] = comp[p]
+                            stack.append(q)
+                members.append(component_bits)
+            base = (mask * d + out) << (d - 1)
+            for bitmap in range(1, n_bitmaps):
+                table[base | bitmap] = all(bitmap & m for m in members)
+    return table
+
+
+def _uniform_neighbor(csr, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One uniform neighbor per entry of ``nodes`` (all non-isolated)."""
+    degs = csr.degrees_array[nodes]
+    offsets = (rng.random(nodes.size) * degs).astype(np.int64)
+    # Guard against the (measure-zero) U == 1.0 edge of float rounding.
+    np.minimum(offsets, degs - 1, out=offsets)
+    return csr.indices[csr.indptr[nodes] + offsets]
+
+
+def _ragged_gather(csr, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated neighbor lists of ``nodes`` (1-D), as
+    ``(values, sizes)`` with segment ``i`` of ``values`` holding the
+    sorted CSR row of ``nodes[i]``."""
+    sizes = csr.degrees_array[nodes]
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), sizes
+    first = np.repeat(np.cumsum(sizes) - sizes, sizes)
+    offsets = np.repeat(csr.indptr[nodes], sizes) + np.arange(total) - first
+    return csr.indices[offsets], sizes
+
+
+class VectorSpace:
+    """Interface the batched engine steps through.
+
+    State blocks use the engine's native layout: a 1-D node array for
+    d = 1 and an ``(n, d)`` array of sorted rows for d >= 2.
+    """
+
+    d: int
+
+    def initial(self, csr, rng: np.random.Generator, starts: np.ndarray) -> np.ndarray:
+        """One starting state per entry of ``starts`` (non-isolated nodes)."""
+        raise NotImplementedError
+
+    def propose(self, csr, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One uniformly random G(d) neighbor per state."""
+        raise NotImplementedError
+
+    def degrees(self, csr, states: np.ndarray) -> np.ndarray:
+        """G(d) degree of every state in a native-layout block."""
+        raise NotImplementedError
+
+    # -- non-backtracking kernel (shared rejection scheme) ---------------
+    def _same(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a == b if a.ndim == 1 else (a == b).all(axis=1)
+
+    def propose_nb(
+        self, csr, states: np.ndarray, prev: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One NB-SRW proposal per state (§4.2): uniform among neighbors
+        other than ``prev``, with the forced-backtrack rule on degree-1
+        states.  The default implementation rejects-and-redraws (exactly
+        the historical d <= 2 kernel, RNG draw for draw);
+        :class:`VectorSubgraphSpace` overrides it with an exact
+        rank-exclusion draw."""
+        nxt = self.propose(csr, states, rng)
+        free = self.degrees(csr, states) > 1  # lanes with an alternative
+        retry = free & self._same(nxt, prev)
+        while np.any(retry):
+            lanes = np.nonzero(retry)[0]
+            nxt[lanes] = self.propose(csr, states[lanes], rng)
+            retry[lanes] = self._same(nxt[lanes], prev[lanes])
+        forced = ~free
+        nxt[forced] = prev[forced]
+        return nxt
+
+
+class VectorNodeSpace(VectorSpace):
+    """G(1) = G itself; state blocks are 1-D node arrays."""
+
+    d = 1
+
+    def initial(self, csr, rng, starts):
+        return np.asarray(starts, dtype=np.int64).copy()
+
+    def propose(self, csr, states, rng):
+        return _uniform_neighbor(csr, states, rng)
+
+    def degrees(self, csr, states):
+        return csr.degrees_array[states]
+
+
+class VectorEdgeSpace(VectorSpace):
+    """G(2): state blocks are ``(n, 2)`` sorted edge rows; proposals use
+    the paper's §5 two-stage endpoint trick with rejection lanes."""
+
+    d = 2
+
+    def initial(self, csr, rng, starts):
+        starts = np.asarray(starts, dtype=np.int64)
+        v = _uniform_neighbor(csr, starts, rng)
+        states = np.stack([np.minimum(starts, v), np.maximum(starts, v)], axis=1)
+        if np.any(self.degrees(csr, states) <= 0):
+            # An isolated edge has no G(2) neighbors; mirror the serial
+            # walker, which raises on the first step.
+            raise ValueError("a chain started on an isolated edge of G(2)")
+        return states
+
+    def propose(self, csr, states, rng):
+        degs = csr.degrees_array
+        n = states.shape[0]
+        out = np.empty_like(states)
+        pending = np.arange(n)
+        while pending.size:
+            u = states[pending, 0]
+            v = states[pending, 1]
+            du = degs[u]
+            dv = degs[v]
+            pick_u = rng.random(pending.size) * (du + dv) < du
+            anchor = np.where(pick_u, u, v)
+            other = np.where(pick_u, v, u)
+            w = _uniform_neighbor(csr, anchor, rng)
+            ok = w != other
+            done = pending[ok]
+            a, b = anchor[ok], w[ok]
+            out[done, 0] = np.minimum(a, b)
+            out[done, 1] = np.maximum(a, b)
+            pending = pending[~ok]
+        return out
+
+    def degrees(self, csr, states):
+        degs = csr.degrees_array
+        return degs[states[..., 0]] + degs[states[..., 1]] - 2
+
+
+class VectorSubgraphSpace(VectorSpace):
+    """G(d) for d >= 3 over CSR: block-at-a-time swap-frontier kernels.
+
+    See the module docstring for the candidate order (swap-out position,
+    then swap-in node id) every method shares.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 3:
+            raise ValueError(
+                "VectorSubgraphSpace requires d >= 3 (use VectorNode/EdgeSpace)"
+            )
+        self.d = d
+        self._pairs = _pair_order(d)
+
+    # ------------------------------------------------------------------
+    # Frontier kernel
+    # ------------------------------------------------------------------
+    def _masks(self, csr, states: np.ndarray) -> np.ndarray:
+        """Labeled induced-subgraph bitmask of every sorted state row,
+        via batched ``searchsorted`` edge probes (``csr.has_edges``)."""
+        bits = np.zeros(states.shape[0], dtype=np.int64)
+        for bit, (i, j) in enumerate(self._pairs):
+            bits |= csr.has_edges(states[:, i], states[:, j]).astype(np.int64) << bit
+        return bits
+
+    def frontier(
+        self, csr, states: np.ndarray, want_candidates: bool = True
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Valid swap candidates of a block of sorted state rows.
+
+        Returns ``(counts, cand_w, cand_seg)``: ``counts[i, j]`` is the
+        number of valid swap-in nodes when row ``i`` drops its ``j``-th
+        node, and (when ``want_candidates``) ``cand_w`` lists every valid
+        swap-in node ordered by segment ``cand_seg = i * d + j`` then by
+        node id — the canonical neighbor order sampling indexes into.
+        ``counts.sum(axis=1)`` is exactly ``len(SubgraphSpace.neighbors)``
+        per row: distinct ``(j, w)`` pairs each yield a distinct state.
+        """
+        n, d = states.shape
+        masks = self._masks(csr, states)
+        validity = _validity_table(d)
+        empty = np.empty(0, dtype=np.int64)
+
+        # Remainder node ids per (row, out-position, remainder-position).
+        rem = np.empty((n, d, d - 1), dtype=np.int64)
+        for out in range(d):
+            rem[:, out, :] = states[:, [p for p in range(d) if p != out]]
+        cand, src_sizes = _ragged_gather(csr, rem.reshape(-1))
+        if cand.size == 0:
+            counts = np.zeros((n, d), dtype=np.int64)
+            return counts, (empty if want_candidates else None), (
+                empty if want_candidates else None
+            )
+        seg_sizes = src_sizes.reshape(n * d, d - 1).sum(axis=1)
+        seg_of = np.repeat(np.arange(n * d), seg_sizes)
+        pos_bit = np.repeat(
+            np.tile(np.int64(1) << np.arange(d - 1), n * d), src_sizes
+        )
+
+        # Dedup candidates within each (row, out) segment — a node
+        # adjacent to several remainder nodes is one candidate — OR-ing
+        # the position bits of the remainder nodes it touches.  A radix
+        # argsort over the (segment, candidate) composite key groups the
+        # duplicates.
+        key = seg_of * np.int64(csr.num_nodes) + cand
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        run_start = np.empty(key_s.size, dtype=bool)
+        run_start[0] = True
+        np.not_equal(key_s[1:], key_s[:-1], out=run_start[1:])
+        starts_idx = np.flatnonzero(run_start)
+        or_bits = np.bitwise_or.reduceat(pos_bit[order], starts_idx)
+        take = order[starts_idx]
+        w_run = cand[take]
+        seg_run = seg_of[take]
+        row_run = seg_run // d
+        # Valid = the touched-positions bitmap covers every remainder
+        # component (one flat table gather) and the candidate is not
+        # already in the state.
+        seg_pattern = (masks[:, None] * d + np.arange(d)).reshape(-1)
+        valid = validity[(seg_pattern[seg_run] << (d - 1)) | or_bits]
+        for j in range(d):
+            valid &= w_run != states[row_run, j]
+        counts = np.bincount(seg_run[valid], minlength=n * d).reshape(n, d)
+        if want_candidates:
+            return counts, w_run[valid], seg_run[valid]
+        return counts, None, None
+
+    def _select(
+        self, states: np.ndarray, counts: np.ndarray, cand_w: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        """The ``r``-th canonical neighbor of each row (two-stage: prefix
+        sums over per-position counts pick the swap-out, rank within the
+        position picks the swap-in)."""
+        n, d = states.shape
+        cum = counts.cumsum(axis=1)
+        out_j = (r[:, None] >= cum).sum(axis=1)
+        rows = np.arange(n)
+        within = r - (cum[rows, out_j] - counts[rows, out_j])
+        flat_counts = counts.reshape(-1)
+        seg_offsets = np.cumsum(flat_counts) - flat_counts
+        chosen = cand_w[seg_offsets[rows * d + out_j] + within]
+        nxt = states.copy()
+        nxt[rows, out_j] = chosen
+        nxt.sort(axis=1)
+        return nxt
+
+    # ------------------------------------------------------------------
+    # VectorSpace interface
+    # ------------------------------------------------------------------
+    def initial(self, csr, rng, starts):
+        """Greedy random frontier growth from each start node — the
+        vectorized mirror of :meth:`SubgraphSpace.initial_state`,
+        including its multiset frontier (candidates weighted by how many
+        current nodes they neighbor) and draw order."""
+        grow = np.asarray(starts, dtype=np.int64)[:, None].copy()
+        b = grow.shape[0]
+        for _ in range(self.d - 1):
+            cand, sizes = _ragged_gather(csr, grow.reshape(-1))
+            row_sizes = sizes.reshape(grow.shape).sum(axis=1)
+            row_of = np.repeat(np.arange(b), row_sizes)
+            keep = ~(grow[row_of] == cand[:, None]).any(axis=1)
+            counts = np.bincount(row_of[keep], minlength=b)
+            if np.any(counts == 0):
+                bad = int(grow[np.flatnonzero(counts == 0)[0], 0])
+                raise WalkSpaceError(
+                    f"cannot grow a connected {self.d}-node subgraph from seed {bad}"
+                )
+            offsets = np.cumsum(counts) - counts
+            r = (rng.random(b) * counts).astype(np.int64)
+            np.minimum(r, counts - 1, out=r)
+            chosen = cand[keep][offsets + r]
+            grow = np.concatenate([grow, chosen[:, None]], axis=1)
+        grow.sort(axis=1)
+        return grow
+
+    def propose(self, csr, states, rng):
+        counts, cand_w, _ = self.frontier(csr, states)
+        deg = counts.sum(axis=1)
+        if np.any(deg == 0):
+            bad = states[np.flatnonzero(deg == 0)[0]]
+            raise WalkSpaceError(
+                f"state {tuple(int(x) for x in bad)} has no G({self.d}) neighbors"
+            )
+        r = (rng.random(states.shape[0]) * deg).astype(np.int64)
+        np.minimum(r, deg - 1, out=r)
+        return self._select(states, counts, cand_w, r)
+
+    def propose_nb(self, csr, states, prev, rng):
+        """Exact NB draw: rank the reverse move (swap the newest node back
+        out, the dropped node back in — always a valid candidate) and
+        sample uniformly from the remaining ``deg - 1`` by skipping that
+        rank.  One variate per lane per step, no rejection loop; degree-1
+        states take the forced backtrack."""
+        n, d = states.shape
+        counts, cand_w, cand_seg = self.frontier(csr, states)
+        deg = counts.sum(axis=1)
+        rows = np.arange(n)
+        # prev -> states swapped one node; the reverse move drops the node
+        # not in prev and restores the node of prev missing from states.
+        out_j = (~(states[:, :, None] == prev[:, None, :]).any(axis=2)).argmax(axis=1)
+        back = prev[rows, (~(prev[:, :, None] == states[:, None, :]).any(axis=2)).argmax(axis=1)]
+        flat_counts = counts.reshape(-1)
+        seg_offsets = np.cumsum(flat_counts) - flat_counts
+        stride = np.int64(csr.num_nodes)
+        key_valid = cand_seg * stride + cand_w
+        back_rank = (
+            np.searchsorted(key_valid, (rows * d + out_j) * stride + back)
+            - seg_offsets[rows * d]
+        )
+        u = rng.random(n)
+        r = (u * (deg - 1)).astype(np.int64)
+        np.minimum(r, np.maximum(deg - 2, 0), out=r)
+        r += (r >= back_rank) & (deg > 1)
+        # Degree-1 lanes: r stays 0, selecting the lone (reverse) neighbor
+        # — exactly the forced-backtrack rule.
+        return self._select(states, counts, cand_w, r)
+
+    def degrees(self, csr, states):
+        """Exact G(d) degrees of an ``(..., d)`` block of sorted states.
+
+        Rows are deduplicated first (window middles repeat heavily) and
+        evaluated in bounded chunks, so CSS weight tables can hand whole
+        ``(windows, templates, middles, d)`` tensors in."""
+        arr = np.asarray(states, dtype=np.int64)
+        lead = arr.shape[:-1]
+        flat = arr.reshape(-1, self.d)
+        if flat.shape[0] == 0:
+            return np.zeros(lead, dtype=np.int64)
+        uniq, inverse = np.unique(flat, axis=0, return_inverse=True)
+        out = np.empty(uniq.shape[0], dtype=np.int64)
+        for start in range(0, uniq.shape[0], _DEGREE_CHUNK):
+            block = uniq[start : start + _DEGREE_CHUNK]
+            counts, _, _ = self.frontier(csr, block, want_candidates=False)
+            out[start : start + block.shape[0]] = counts.sum(axis=1)
+        return out[inverse.reshape(-1)].reshape(lead)
+
+
+@lru_cache(maxsize=None)
+def vector_space(d: int) -> VectorSpace:
+    """Factory: the vectorized :class:`VectorSpace` for G(d) (stateless,
+    cached per d)."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if d == 1:
+        return VectorNodeSpace()
+    if d == 2:
+        return VectorEdgeSpace()
+    return VectorSubgraphSpace(d)

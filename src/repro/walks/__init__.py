@@ -1,7 +1,12 @@
 """Random walks: SRW / NB-SRW on G(d), MHRW, batched multi-chain kernels,
 mixing-time tools."""
 
-from .batched import BatchedWalkEngine, batch_capable
+from .batched import (
+    BatchedWalkEngine,
+    BatchFallbackWarning,
+    batch_capable,
+    batch_support,
+)
 from .mhrw import (
     BatchedMetropolisHastingsWalk,
     MetropolisHastingsWalk,
@@ -31,6 +36,8 @@ from .windows import (
 __all__ = [
     "BatchedMetropolisHastingsWalk",
     "BatchedWalkEngine",
+    "BatchFallbackWarning",
+    "batch_support",
     "MetropolisHastingsWalk",
     "NonBacktrackingWalk",
     "SimpleWalk",

@@ -2,21 +2,27 @@
 
 The serial walkers in :mod:`repro.walks.walkers` advance one chain at a
 time through Python-level neighbor lists; every transition costs a method
-dispatch, an RNG call and (for d = 2) tuple construction.
+dispatch, an RNG call and (for d >= 2) tuple construction.
 :class:`BatchedWalkEngine` instead advances **B independent chains per
-vectorized step**: the current states live in NumPy arrays and one
-transition of all B chains is a handful of fancy-indexing operations on
-the CSR ``indptr``/``indices`` arrays —
+vectorized step** through the vectorized walk spaces of
+:mod:`repro.relgraph.vectorized`: the current states live in NumPy arrays
+and one transition of all B chains is a handful of fancy-indexing
+operations on the CSR ``indptr``/``indices`` arrays —
 
     d = 1 (SRW):   next = indices[indptr[cur] + floor(U * deg[cur])]
 
 — i.e. two gathers and a multiply for the whole batch.  For d = 2 the
-engine vectorizes the paper's §5 two-stage endpoint trick (pick an
+space vectorizes the paper's §5 two-stage endpoint trick (pick an
 endpoint with probability proportional to its degree, draw a uniform
 neighbor of it, reject proposals equal to the state itself), re-proposing
-only the rejected lanes.  Non-backtracking variants (§4.2) add a second
-rejection against the previous state, with the forced-backtrack rule on
-degree-1 states, exactly mirroring the serial walkers' semantics.
+only the rejected lanes.  For d >= 3 — the G(3)/G(4) regime the paper's
+Table 6 singles out as an order of magnitude slower — the space
+enumerates every chain's swap-candidate frontier in one batched
+sort/``searchsorted`` pass and samples by rank, so SRW3/SRW4/PSRW sweeps
+ride the same lockstep engine.  Non-backtracking variants (§4.2) exclude
+the previous state (rejection lanes for d <= 2, an exact rank-exclusion
+draw for d >= 3) with the forced-backtrack rule on degree-1 states,
+exactly mirroring the serial walkers' semantics.
 
 The engine only *walks*; windowing and graphlet classification stay with
 the estimator (:func:`repro.core.estimator.run_estimation` with
@@ -24,39 +30,79 @@ the estimator (:func:`repro.core.estimator.run_estimation` with
 statistically independent given independent starting draws because every
 lane consumes its own slice of the shared vectorized RNG stream.
 
-Supported spaces: d = 1 and d = 2 (the regimes the paper recommends and
-where uniform neighbor draws are O(1)).  For d >= 3, neighbor enumeration
-is inherently per-state, so multi-chain runs fall back to independent
-serial walkers — see :func:`batch_capable`.
+:func:`batch_support` reports whether a graph/space combination can ride
+the engine — the only requirement left is the CSR substrate; non-CSR
+backends fall back to independent serial walkers, and the estimator warns
+once (:class:`BatchFallbackWarning`) when a multi-chain run degrades.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import warnings
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..relgraph.vectorized import VectorSpace, vector_space
 
 #: Steps per vectorized block when draining the engine incrementally; big
 #: enough to amortize NumPy dispatch, small enough to keep blocks in cache.
 DEFAULT_BLOCK = 1024
 
 
+class BatchFallbackWarning(UserWarning):
+    """A multi-chain run silently lost its vectorized engine and degraded
+    to the serial per-chain loop (emitted once per distinct reason)."""
+
+
+def batch_support(graph, d: int) -> Tuple[bool, Optional[str]]:
+    """Whether the batched engine can drive walks on G(d) over ``graph``.
+
+    Returns ``(supported, reason)``; ``reason`` names what is missing
+    when unsupported (so callers can warn usefully instead of silently
+    degrading to the serial loop).
+    """
+    if d < 1:
+        return False, f"d must be >= 1, got {d}"
+    if not isinstance(graph, CSRGraph):
+        return False, (
+            f"the {type(graph).__name__} backend has no vectorized walk "
+            'kernels; convert with as_backend(graph, "csr") (or pass '
+            'backend="csr") to batch chains'
+        )
+    return True, None
+
+
 def batch_capable(graph, d: int) -> bool:
-    """Whether the batched engine can drive walks on G(d) over ``graph``."""
-    return isinstance(graph, CSRGraph) and d in (1, 2)
+    """Boolean form of :func:`batch_support` (kept for call sites that
+    only branch)."""
+    return batch_support(graph, d)[0]
+
+
+def warn_serial_fallback(graph, d: int, stacklevel: int = 2) -> None:
+    """Emit the once-per-reason :class:`BatchFallbackWarning` for a
+    multi-chain run that cannot ride the batched engine."""
+    supported, reason = batch_support(graph, d)
+    if supported:  # pragma: no cover - callers check first
+        return
+    warnings.warn(
+        f"multi-chain run falling back to serial per-chain walks: {reason}",
+        BatchFallbackWarning,
+        stacklevel=stacklevel + 1,
+    )
 
 
 class BatchedWalkEngine:
-    """B independent (possibly non-backtracking) chains on G(d), d <= 2.
+    """B independent (possibly non-backtracking) chains on G(d).
 
     Parameters
     ----------
     csr:
         The :class:`~repro.graphs.CSRGraph` substrate.
     d:
-        Walk space dimension (1 or 2).
+        Walk space dimension (any d >= 1; d <= 2 uses the O(1) closed-form
+        kernels, d >= 3 the swap-frontier kernels).
     chains:
         Number of independent chains B.
     rng:
@@ -83,8 +129,8 @@ class BatchedWalkEngine:
     ) -> None:
         if not isinstance(csr, CSRGraph):
             raise TypeError("BatchedWalkEngine requires a CSRGraph substrate")
-        if d not in (1, 2):
-            raise ValueError(f"batched kernels cover d in (1, 2), got d={d}")
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
         if chains < 1:
             raise ValueError(f"need at least one chain, got {chains}")
         self.csr = csr
@@ -93,6 +139,7 @@ class BatchedWalkEngine:
         self.rng = rng
         self.nb = non_backtracking
         self.steps_taken = 0
+        self.space: VectorSpace = vector_space(d)
 
         starts = (
             np.full(chains, seed_node, dtype=np.int64)
@@ -106,127 +153,43 @@ class BatchedWalkEngine:
             bad = int(starts[degs[starts] == 0][0])
             raise ValueError(f"seed node {bad} is isolated")
 
-        if d == 1:
-            self._cur = starts.copy()  # (B,)
-        else:
-            # Initial edge state per chain: seed plus one uniform neighbor,
-            # stored as sorted (u, v) columns.
-            v = self._uniform_neighbor(starts)
-            self._cur = np.stack(
-                [np.minimum(starts, v), np.maximum(starts, v)], axis=1
-            )  # (B, 2)
-            if np.any(degs[self._cur[:, 0]] + degs[self._cur[:, 1]] - 2 <= 0):
-                # An isolated edge has no G(2) neighbors; mirror the serial
-                # walker, which raises on the first step.
-                raise ValueError("a chain started on an isolated edge of G(2)")
+        self._cur = self.space.initial(csr, rng, starts)
         self._prev = None  # previous states, set once NB chains have moved
-
-    # ------------------------------------------------------------------
-    # Vectorized kernels
-    # ------------------------------------------------------------------
-    def _uniform_neighbor(self, nodes: np.ndarray) -> np.ndarray:
-        """One uniform neighbor per entry of ``nodes`` (all non-isolated)."""
-        degs = self.csr.degrees_array[nodes]
-        offsets = (self.rng.random(nodes.size) * degs).astype(np.int64)
-        # Guard against the (measure-zero) U == 1.0 edge of float rounding.
-        np.minimum(offsets, degs - 1, out=offsets)
-        return self.csr.indices[self.csr.indptr[nodes] + offsets]
-
-    def _step_d1(self) -> np.ndarray:
-        nxt = self._uniform_neighbor(self._cur)
-        if self.nb and self._prev is not None:
-            degs = self.csr.degrees_array
-            free = degs[self._cur] > 1  # lanes with an alternative to prev
-            retry = free & (nxt == self._prev)
-            while np.any(retry):
-                lanes = np.nonzero(retry)[0]
-                nxt[lanes] = self._uniform_neighbor(self._cur[lanes])
-                retry[lanes] = nxt[lanes] == self._prev[lanes]
-            forced = ~free
-            nxt[forced] = self._prev[forced]
-        self._prev = self._cur
-        self._cur = nxt
-        self.steps_taken += 1
-        return self._cur
-
-    def _propose_d2(self, states: np.ndarray) -> np.ndarray:
-        """One §5 edge-space proposal per row of ``states`` ((n, 2) sorted).
-
-        Rejection lanes (proposal equal to the state itself) are re-drawn
-        until every lane holds a genuine G(2) neighbor.
-        """
-        degs = self.csr.degrees_array
-        n = states.shape[0]
-        out = np.empty_like(states)
-        pending = np.arange(n)
-        while pending.size:
-            u = states[pending, 0]
-            v = states[pending, 1]
-            du = degs[u]
-            dv = degs[v]
-            pick_u = self.rng.random(pending.size) * (du + dv) < du
-            anchor = np.where(pick_u, u, v)
-            other = np.where(pick_u, v, u)
-            w = self._uniform_neighbor(anchor)
-            ok = w != other
-            done = pending[ok]
-            a, b = anchor[ok], w[ok]
-            out[done, 0] = np.minimum(a, b)
-            out[done, 1] = np.maximum(a, b)
-            pending = pending[~ok]
-        return out
-
-    def _step_d2(self) -> np.ndarray:
-        degs = self.csr.degrees_array
-        cur = self._cur
-        nxt = self._propose_d2(cur)
-        if self.nb and self._prev is not None:
-            state_deg = degs[cur[:, 0]] + degs[cur[:, 1]] - 2
-            free = state_deg > 1
-            same = (nxt == self._prev).all(axis=1)
-            retry = free & same
-            while np.any(retry):
-                lanes = np.nonzero(retry)[0]
-                nxt[lanes] = self._propose_d2(cur[lanes])
-                retry[lanes] = (nxt[lanes] == self._prev[lanes]).all(axis=1)
-            forced = ~free
-            nxt[forced] = self._prev[forced]
-        self._prev = cur
-        self._cur = nxt
-        self.steps_taken += 1
-        return self._cur
 
     # ------------------------------------------------------------------
     # Public stepping API
     # ------------------------------------------------------------------
     def states(self) -> np.ndarray:
-        """Current state per chain: shape (B,) for d = 1, (B, 2) for d = 2."""
+        """Current state per chain: shape (B,) for d = 1, (B, d) else."""
         return self._cur
 
     def step(self) -> np.ndarray:
         """Advance every chain by one transition; returns the new states."""
-        return self._step_d1() if self.d == 1 else self._step_d2()
+        cur = self._cur
+        if self.nb and self._prev is not None:
+            nxt = self.space.propose_nb(self.csr, cur, self._prev, self.rng)
+        else:
+            nxt = self.space.propose(self.csr, cur, self.rng)
+        self._prev = cur
+        self._cur = nxt
+        self.steps_taken += 1
+        return self._cur
 
     def step_block(self, steps: int) -> np.ndarray:
         """Advance every chain ``steps`` times; returns the state history.
 
-        Shape is ``(steps, B)`` for d = 1 and ``(steps, B, 2)`` for d = 2
+        Shape is ``(steps, B)`` for d = 1 and ``(steps, B, d)`` otherwise
         — time-major so consumers can peel off per-chain streams with a
         stride-1 slice per chain (``block[:, b]``).
         """
         if self.d == 1:
             out = np.empty((steps, self.chains), dtype=np.int64)
-            for t in range(steps):
-                out[t] = self._step_d1()
         else:
-            out = np.empty((steps, self.chains, 2), dtype=np.int64)
-            for t in range(steps):
-                out[t] = self._step_d2()
+            out = np.empty((steps, self.chains, self.d), dtype=np.int64)
+        for t in range(steps):
+            out[t] = self.step()
         return out
 
     def state_degrees(self) -> np.ndarray:
         """Degree in G(d) of every chain's current state (vectorized)."""
-        degs = self.csr.degrees_array
-        if self.d == 1:
-            return degs[self._cur]
-        return degs[self._cur[:, 0]] + degs[self._cur[:, 1]] - 2
+        return self.space.degrees(self.csr, self._cur)

@@ -16,8 +16,8 @@ returns a serial one-chain walker (identical RNG consumption on every
 backend, so fixed-seed results are backend-independent for d <= 2), while
 :func:`make_engine` upgrades to the vectorized
 :class:`~repro.walks.batched.BatchedWalkEngine` whenever the substrate is
-CSR and the space is d <= 2 — falling back to a list of independent serial
-walkers otherwise.
+CSR — any walk dimension, including the d >= 3 swap-frontier kernels —
+falling back to a list of independent serial walkers otherwise.
 """
 
 from __future__ import annotations
@@ -135,7 +135,7 @@ def make_engine(
     """Backend-dispatching multi-chain factory.
 
     Returns a :class:`~repro.walks.batched.BatchedWalkEngine` when the
-    backend supports vectorized kernels on G(d) (CSR substrate, d <= 2),
+    backend supports vectorized kernels on G(d) (CSR substrate, any d),
     otherwise a list of ``chains`` independent serial walkers, each with
     its own :class:`random.Random` seeded from ``rng`` — so multi-chain
     estimation works on every backend and merely goes faster on CSR.

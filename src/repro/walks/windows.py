@@ -18,8 +18,9 @@ once:
   every surviving window via the CSR backend's batched ``has_edges``
   (one ``searchsorted`` over the global edge-key array per label pair —
   no Python per-edge loops);
-* :func:`state_degrees` — G(d) degrees of whole state arrays for
-  d <= 2, with the NB-SRW nominal-degree variant.
+* :func:`state_degrees` — G(d) degrees of whole state arrays (closed
+  forms for d <= 2, the deduplicated swap-frontier kernel for d >= 3),
+  with the NB-SRW nominal-degree variant.
 
 Everything here is estimator-agnostic: the functions know about graphs,
 states and bitmasks but not about alpha tables or CSS weights, so the
@@ -40,6 +41,8 @@ from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
+
+from ..relgraph.vectorized import vector_space
 
 
 @lru_cache(maxsize=None)
@@ -109,21 +112,30 @@ def induced_bitmasks(graph, uniq: np.ndarray, k: int) -> np.ndarray:
 def state_degrees(
     graph, states: np.ndarray, d: int, nominal: bool = False
 ) -> np.ndarray:
-    """G(d) degree of every state in an ``(..., d)`` id array (d <= 2).
+    """G(d) degree of every state in an ``(..., d)`` id array.
 
-    Uses the closed forms the paper recommends walking with — ``deg(v)``
-    for d = 1, ``deg(u) + deg(v) - 2`` for d = 2 — gathered from the
-    backend's ``degrees_array``.  ``nominal=True`` applies the NB-SRW
-    nominal degree ``d' = max(d - 1, 1)`` (§4.2) elementwise, matching
+    For d <= 2 this uses the closed forms the paper recommends walking
+    with — ``deg(v)`` for d = 1, ``deg(u) + deg(v) - 2`` for d = 2 —
+    gathered from the backend's ``degrees_array``.  For d >= 3 the block
+    goes through the swap-frontier kernel of
+    :class:`~repro.relgraph.vectorized.VectorSubgraphSpace` (rows are
+    deduplicated, so the heavily repeated middle states of overlapping
+    windows are each counted once); the result equals
+    ``len(SubgraphSpace.neighbors(graph, state))`` exactly, which is what
+    keeps vectorized CSS weights bit-identical to the serial path.
+    ``nominal=True`` applies the NB-SRW nominal degree
+    ``d' = max(d - 1, 1)`` (§4.2) elementwise, matching
     :func:`repro.core.expanded_chain.nominal_degree`.
     """
-    if d not in (1, 2):
-        raise ValueError(f"vectorized state degrees cover d in (1, 2), got d={d}")
-    degs = graph.degrees_array
+    if d < 1:
+        raise ValueError(f"state degrees need d >= 1, got d={d}")
     if d == 1:
-        out = degs[states[..., 0]]
-    else:
+        out = graph.degrees_array[states[..., 0]]
+    elif d == 2:
+        degs = graph.degrees_array
         out = degs[states[..., 0]] + degs[states[..., 1]] - 2
+    else:
+        out = vector_space(d).degrees(graph, states)
     if nominal:
         out = np.maximum(out - 1, 1)
     return out
