@@ -58,6 +58,7 @@ from . import estimators
 from .estimators import estimate
 from . import experiments
 from .experiments import ExperimentSpec, run_experiment
+from . import service
 from .evaluation import (
     convergence_sweep,
     cosine_similarity,
@@ -143,6 +144,7 @@ __all__ = [
     "run_trials",
     "run_with_checkpoints",
     "sample_size_bound",
+    "service",
     "srw_estimate",
     "triangle_count",
     "walk_space",

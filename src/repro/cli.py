@@ -86,6 +86,33 @@ def cmd_methods(args) -> int:
     return 0
 
 
+def _print_estimate(result) -> None:
+    """Render an :class:`Estimate` as the standard concentration table
+    (shared by ``repro estimate`` and ``repro query``)."""
+    values = result.concentrations
+    stderr = result.stderr
+    header = ["id", "graphlet", "concentration"]
+    if stderr is not None:
+        header.append("stderr")
+    rows = []
+    for g in graphlets(result.k):
+        value = float(values[g.index])
+        row = [g.paper_id, g.name, "n/a" if math.isnan(value) else value]
+        if stderr is not None:
+            row.append(float(stderr[g.index]))
+        rows.append(row)
+    chain_note = f", {result.chains} chains" if result.chains > 1 else ""
+    print(
+        format_table(
+            header,
+            rows,
+            title=f"{result.method}, {result.steps} steps{chain_note}, "
+            f"{result.samples} valid samples, "
+            f"{result.elapsed_seconds:.2f}s",
+        )
+    )
+
+
 def cmd_estimate(args) -> int:
     graph = _resolve_graph(args)
     method = args.method or recommended_method(args.k)
@@ -104,28 +131,7 @@ def cmd_estimate(args) -> int:
         # KeyError.__str__ is the repr of its argument; unwrap it.
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
-    values = result.concentrations
-    stderr = result.stderr
-    header = ["id", "graphlet", "concentration"]
-    if stderr is not None:
-        header.append("stderr")
-    rows = []
-    for g in graphlets(args.k):
-        value = float(values[g.index])
-        row = [g.paper_id, g.name, "n/a" if math.isnan(value) else value]
-        if stderr is not None:
-            row.append(float(stderr[g.index]))
-        rows.append(row)
-    chain_note = f", {result.chains} chains" if result.chains > 1 else ""
-    print(
-        format_table(
-            header,
-            rows,
-            title=f"{result.method}, {result.steps} steps{chain_note}, "
-            f"{result.samples} valid samples, "
-            f"{result.elapsed_seconds:.2f}s",
-        )
-    )
+    _print_estimate(result)
     return 0
 
 
@@ -252,6 +258,115 @@ def cmd_report(args) -> int:
     return 0 if report.all_claims_hold else 1
 
 
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+    import time
+
+    from .experiments.spec import resolve_graph as resolve_source
+    from .service import Daemon, ServiceServer
+
+    graph = (
+        resolve_source(args.source) if args.source else _resolve_graph(args)
+    )
+    daemon = Daemon(graph, workers=args.workers, max_pending=args.max_pending)
+    daemon.start()
+    server = ServiceServer(daemon, args.socket)
+    server.start()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    print(
+        f"repro service: {daemon.graph.num_nodes} nodes / "
+        f"{daemon.graph.num_edges} edges, {daemon.num_workers} workers, "
+        f"listening on {args.socket}",
+        flush=True,
+    )
+    try:
+        while not stop.is_set() and not server.shutdown_event.is_set():
+            time.sleep(0.1)
+    finally:
+        server.close()
+        daemon.close()
+    print("repro service: stopped", flush=True)
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json as json_module
+
+    from .service import Client, RequestFailed, RequestTimeout
+
+    client = Client(args.socket)
+    if args.shutdown:
+        client.shutdown()
+        print("shutdown requested")
+        return 0
+    if args.ping:
+        stats = client.ping()
+        print(format_table(["stat", "value"], sorted(stats.items())))
+        return 0
+    if not args.method:
+        print("error: --method is required (or use --ping/--shutdown)",
+              file=sys.stderr)
+        return 2
+    final = None
+    try:
+        for snapshot in client.stream(
+            args.method,
+            k=args.k,
+            budget=args.steps,
+            chains=args.chains,
+            seed=args.seed,
+            seed_node=args.seed_node,
+            burn_in=args.burn_in,
+            fanout=args.fanout,
+            snapshot_steps=args.snapshot_steps,
+            timeout_seconds=args.timeout,
+        ):
+            final = snapshot
+            if args.watch and not snapshot.final and snapshot.estimate is not None:
+                bound = snapshot.stderr_bound
+                bound_note = f", stderr<={bound:.2e}" if bound is not None else ""
+                print(
+                    f"  [{snapshot.seq}] {snapshot.steps}/{snapshot.budget} "
+                    f"steps, {snapshot.parts_done}/{snapshot.parts} parts"
+                    f"{bound_note}",
+                    file=sys.stderr,
+                )
+    except (RequestFailed, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    status = 0
+    if final.timed_out:
+        # The any-time contract: report the deadline, then show the last
+        # snapshot's estimate anyway (when one arrived in time).
+        print(
+            f"timeout: deadline hit after {final.steps}/{final.budget} steps; "
+            "showing the last snapshot",
+            file=sys.stderr,
+        )
+        status = 3
+    if final.error is not None:
+        print(f"error: {final.error}", file=sys.stderr)
+        return 2
+    if final.estimate is None:
+        print("no snapshot arrived before the deadline", file=sys.stderr)
+        return status or 3
+    if args.json:
+        payload = final.estimate.to_dict()
+        payload["timed_out"] = final.timed_out
+        payload["early_stopped"] = final.early_stopped
+        print(json_module.dumps(payload, sort_keys=True))
+    else:
+        _print_estimate(final.estimate)
+    return status
+
+
 def cmd_bound(args) -> int:
     graph = _resolve_graph(args)
     index = graphlet_by_name(args.k, args.graphlet).index
@@ -374,6 +489,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None, help="write markdown to a file")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the estimation daemon: shared-memory graph, worker "
+        "pool, any-time answers over a Unix socket",
+    )
+    _add_graph_arguments(p)
+    p.add_argument(
+        "--source",
+        default=None,
+        help="spec graph source (e.g. ba:2000:6:3 or dataset:karate); "
+        "overrides --dataset/--edge-list",
+    )
+    p.add_argument(
+        "--socket",
+        default="/tmp/repro-service.sock",
+        help="Unix-socket path to listen on",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(4, cpu count))",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=32, dest="max_pending",
+        help="bounded admission: most requests held unfinished at once",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="query a running `repro serve` daemon (progressive "
+        "snapshots with --watch; exact fixed-seed answers)",
+    )
+    p.add_argument(
+        "--socket",
+        default="/tmp/repro-service.sock",
+        help="Unix-socket path of the daemon",
+    )
+    p.add_argument("--method", default=None, help="registered method name")
+    p.add_argument("-k", type=int, default=None, choices=(3, 4, 5))
+    p.add_argument("--steps", type=int, default=20_000, help="estimation budget")
+    p.add_argument("--chains", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed-node", type=int, default=0, dest="seed_node")
+    p.add_argument("--burn-in", type=int, default=0, dest="burn_in")
+    p.add_argument(
+        "--fanout",
+        action="store_true",
+        help="split chains across workers (serial-reference pooling) "
+        "instead of one vectorized session in one worker",
+    )
+    p.add_argument(
+        "--snapshot-steps", type=int, default=None, dest="snapshot_steps",
+        help="steps between progressive snapshots (default: budget/8)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="deadline in seconds; on expiry the last snapshot is shown "
+        "and the exit code is 3",
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="print each progressive snapshot to stderr as it arrives",
+    )
+    p.add_argument("--json", action="store_true", help="emit the final estimate as JSON")
+    p.add_argument("--ping", action="store_true", help="print daemon stats and exit")
+    p.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to shut down"
+    )
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("bound", help="Theorem 3 sample-size bound")
     _add_graph_arguments(p)

@@ -307,6 +307,34 @@ class CSRGraph:
         """Deep copy (new array storage)."""
         return CSRGraph(self.indptr.copy(), self.indices.copy())
 
+    # ------------------------------------------------------------------
+    # Shared-memory publication (see repro.graphs.shared)
+    # ------------------------------------------------------------------
+    def to_shared(self, name: Optional[str] = None):
+        """Publish this graph into shared memory once; returns the owner
+        :class:`~repro.graphs.shared.SharedCSRGraph` view.  Other
+        processes attach zero-copy via :meth:`from_shared` with the
+        owner's ``.handle``.  A graph that already lives in shared
+        memory is returned unchanged."""
+        from .shared import SharedCSRGraph
+
+        if isinstance(self, SharedCSRGraph):
+            return self
+        return SharedCSRGraph.create(self, name=name)
+
+    @classmethod
+    def from_shared(cls, handle):
+        """Attach to a segment published by :meth:`to_shared` elsewhere.
+
+        ``handle`` is a :class:`~repro.graphs.shared.SharedGraphHandle`
+        (or its ``to_dict()`` form).  The returned graph's arrays are
+        read-only views over the shared pages; call its ``close()`` when
+        done — unlinking stays with the owner.
+        """
+        from .shared import SharedCSRGraph
+
+        return SharedCSRGraph.attach(handle)
+
 
 BACKENDS = ("list", "csr")
 

@@ -1,0 +1,52 @@
+"""Estimation-as-a-service: shared-memory graph daemon with any-time answers.
+
+The pieces (see docs/SERVICE.md for the full contract):
+
+* :class:`Daemon` — owns the graph (published once to shared memory via
+  :class:`~repro.graphs.SharedCSRGraph`), a persistent worker pool, and
+  the request lifecycle: progressive :class:`Snapshot` streams,
+  deadlines, worker-death requeue, bounded admission.
+* :class:`ServiceServer` / :class:`Client` — the socket layer behind
+  ``repro serve`` / ``repro query``.
+* :class:`EstimateRequest` / :class:`Snapshot` — the wire types.
+
+Quick in-process use::
+
+    from repro.service import Daemon, EstimateRequest
+
+    with Daemon(graph, workers=4) as daemon:
+        handle = daemon.submit(EstimateRequest("srw2css", k=4, seed=7))
+        for snapshot in handle.snapshots():
+            ...  # coarse answer now, tightening stderr over time
+        final = handle.result()   # bit-identical to repro.estimate(...)
+"""
+
+from .client import Client
+from .daemon import Daemon, RequestHandle
+from .messages import (
+    DEFAULT_SNAPSHOTS,
+    EstimateRequest,
+    RequestFailed,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    Snapshot,
+)
+from .server import DEFAULT_AUTHKEY, ServiceServer
+
+__all__ = [
+    "Client",
+    "Daemon",
+    "DEFAULT_AUTHKEY",
+    "DEFAULT_SNAPSHOTS",
+    "EstimateRequest",
+    "RequestFailed",
+    "RequestHandle",
+    "RequestTimeout",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceServer",
+    "Snapshot",
+]

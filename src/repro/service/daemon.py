@@ -1,0 +1,673 @@
+"""The estimation daemon: one shared graph, a persistent worker pool,
+any-time answers.
+
+A :class:`Daemon` publishes its graph into shared memory once
+(:class:`~repro.graphs.shared.SharedCSRGraph`), spawns a fixed pool of
+worker processes that each attach zero-copy, and then serves
+:class:`~repro.service.messages.EstimateRequest`\\ s for as long as it
+lives — the NeedleTail contract: a coarse answer immediately, a
+tightening confidence interval over time, the exact fixed-seed result at
+the end.
+
+Execution model
+---------------
+A request becomes one or more **parts**:
+
+* ``fanout=False`` (default): the whole request is a single part — one
+  worker streams one estimator session in ``snapshot_steps`` chunks.
+  Because a chunked session's final result is pinned bit-identical to
+  the one-shot run, the daemon's answer equals in-process
+  ``repro.estimate(...)`` exactly (same method/seed/graph), snapshots
+  included for free.
+* ``fanout=True``: ``chains`` single-chain parts with per-chain seeds
+  drawn the way the serial multi-chain runner draws them
+  (``random.Random(seed).randrange(2**63)``, in chain order) and pooled
+  with the same expressions (summed S_i, between-chain stderr) — the
+  answer is bit-identical to the *serial* multi-chain reference while
+  the chains actually run in parallel across workers.
+
+Dispatch is pull-based: the collector thread hands exactly one part to
+an idle worker at a time over that worker's private queue, so a dead
+worker can forfeit at most one part.  Worker death is detected by the
+collector, the in-flight part is requeued with a bumped ``attempt``
+counter (stale frames from the dead incarnation are dropped — execution
+stays at-most-once per chain seed, so results remain deterministic), and
+a replacement worker is spawned.  Requests carry optional deadlines
+(the final snapshot is the last progressive answer, flagged
+``timed_out``) and an optional ``target_stderr`` early stop.  Admission
+is bounded: at most ``max_pending`` requests are in the system, further
+``submit`` calls block (or raise :class:`ServiceOverloaded`).
+
+Shutdown unlinks the shared segment; an ``atexit`` hook (plus the
+resource tracker's owner registration) keeps even a crashed daemon from
+leaking ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import random
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.estimator import _between_chain_stderr, split_budget
+from ..core.result import Estimate
+from ..estimators import get as get_estimator, normalize
+from ..experiments.spec import CHAINLESS_METHODS, resolve_graph
+from ..graphs.csr import CSRGraph
+from ..graphs.shared import SharedCSRGraph
+from .messages import (
+    EstimateRequest,
+    RequestFailed,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceOverloaded,
+    Snapshot,
+)
+from .worker import worker_main
+
+#: How long the collector sleeps waiting for worker frames before doing
+#: its liveness / deadline sweep (seconds).
+_POLL_SECONDS = 0.02
+
+#: Grace period for workers to drain their shutdown pill before being
+#: terminated outright.
+_SHUTDOWN_GRACE = 2.0
+
+
+def _default_workers() -> int:
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class _Worker:
+    """Daemon-side bookkeeping for one worker process."""
+
+    __slots__ = ("id", "process", "tasks", "control", "idle", "inflight", "retired")
+
+    def __init__(self, wid, process, tasks, control):
+        self.id = wid
+        self.process = process
+        self.tasks = tasks          # daemon -> worker task queue
+        self.control = control      # daemon -> worker cancel pipe (send end)
+        self.idle = False           # becomes True on the worker's "ready"
+        self.inflight: Optional[Tuple[str, int, int]] = None  # (rid, part, attempt)
+        self.retired = False
+
+
+class _Part:
+    """One schedulable unit of a request."""
+
+    __slots__ = ("config", "attempt", "latest", "steps", "final")
+
+    def __init__(self, config: dict):
+        self.config = config        # EstimationConfig kwargs for the worker
+        self.attempt = 0
+        self.latest: Optional[Estimate] = None   # newest partial frame
+        self.steps = 0
+        self.final: Optional[Estimate] = None
+
+
+class _RequestState:
+    """Daemon-side lifecycle of one request."""
+
+    __slots__ = (
+        "id", "request", "parts", "snapshots", "done", "final_snapshot",
+        "seq", "deadline", "finished", "requeues",
+    )
+
+    def __init__(self, request_id: str, request: EstimateRequest, parts):
+        self.id = request_id
+        self.request = request
+        self.parts: List[_Part] = parts
+        self.snapshots: queue_module.Queue = queue_module.Queue()
+        self.done = threading.Event()
+        self.final_snapshot: Optional[Snapshot] = None
+        self.seq = 0
+        self.deadline = (
+            time.monotonic() + request.timeout_seconds
+            if request.timeout_seconds is not None
+            else None
+        )
+        self.finished = False
+        self.requeues = 0
+
+
+class RequestHandle:
+    """Caller-side view of a submitted request."""
+
+    def __init__(self, daemon: "Daemon", state: _RequestState):
+        self._daemon = daemon
+        self._state = state
+
+    @property
+    def request_id(self) -> str:
+        return self._state.id
+
+    def snapshots(self, timeout: Optional[float] = None):
+        """Yield progressive :class:`Snapshot` frames, ending with (and
+        including) the final one.  Single-consumer: frames are handed
+        out once.  ``timeout`` bounds the wait for *each* frame."""
+        while True:
+            try:
+                snapshot = self._state.snapshots.get(timeout=timeout)
+            except queue_module.Empty:
+                raise TimeoutError(
+                    f"no snapshot within {timeout}s for request {self._state.id}"
+                ) from None
+            yield snapshot
+            if snapshot.final:
+                return
+
+    def result(self, timeout: Optional[float] = None) -> Estimate:
+        """Block until the final answer; raise on timeout/error outcomes.
+
+        A deadline-hit request raises :class:`RequestTimeout` carrying
+        the last progressive snapshot; a worker-side failure raises
+        :class:`RequestFailed`.  Safe to call whether or not
+        :meth:`snapshots` was consumed.
+        """
+        if not self._state.done.wait(timeout):
+            raise TimeoutError(
+                f"request {self._state.id} still running after {timeout}s "
+                "(its own deadline, if any, has not expired)"
+            )
+        snapshot = self._state.final_snapshot
+        if snapshot.timed_out:
+            raise RequestTimeout(
+                f"request {self._state.id} hit its "
+                f"{self._state.request.timeout_seconds}s deadline after "
+                f"{snapshot.steps}/{snapshot.budget} steps",
+                snapshot=snapshot,
+            )
+        if snapshot.error is not None:
+            raise RequestFailed(snapshot.error, snapshot=snapshot)
+        return snapshot.estimate
+
+    def cancel(self) -> None:
+        """Abandon the request (its final snapshot reports an error)."""
+        self._daemon._cancel(self._state)
+
+
+class Daemon:
+    """Persistent estimation service over one shared-memory graph.
+
+    Parameters
+    ----------
+    graph:
+        A ``Graph``/``CSRGraph`` instance or a spec source string
+        (``"dataset:karate"``, ``"ba:2000:6:3"``, …).  Whatever comes
+        in is converted to CSR once and published to shared memory.
+    workers:
+        Worker processes (default: ``min(4, cpu_count)``).
+    max_pending:
+        Bound on requests admitted and not yet finalized; further
+        ``submit`` calls block or raise :class:`ServiceOverloaded`.
+    start_method:
+        ``multiprocessing`` start method (default: the platform's).
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        workers: Optional[int] = None,
+        max_pending: int = 32,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if isinstance(graph, str):
+            graph = resolve_graph(graph)
+        self._csr = CSRGraph.from_graph(graph)
+        # A caller-provided SharedCSRGraph keeps its own lifecycle; the
+        # daemon only unlinks segments it published itself.
+        self._owns_segment = not isinstance(self._csr, SharedCSRGraph)
+        if workers is not None and workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self._num_workers = workers or _default_workers()
+        self._max_pending = max_pending
+        self._ctx = multiprocessing.get_context(start_method)
+        self._shared: Optional[SharedCSRGraph] = None
+        self._results = None
+        self._workers: Dict[int, _Worker] = {}
+        self._worker_ids = itertools.count()
+        self._request_ids = itertools.count(1)
+        self._requests: Dict[str, _RequestState] = {}
+        self._pending: deque = deque()   # (request_id, part_index)
+        self._slots = threading.BoundedSemaphore(max_pending)
+        self._lock = threading.Lock()
+        self._collector: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self._csr
+
+    def start(self) -> "Daemon":
+        """Publish the graph and boot the pool (idempotent)."""
+        if self._closed:
+            raise ServiceClosed("daemon already closed")
+        if self._started:
+            return self
+        self._shared = self._csr.to_shared()
+        atexit.register(self._atexit_cleanup)
+        self._results = self._ctx.Queue()
+        for _ in range(self._num_workers):
+            self._spawn_worker()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-service-collector", daemon=True
+        )
+        self._collector.start()
+        self._started = True
+        return self
+
+    def _spawn_worker(self) -> _Worker:
+        wid = next(self._worker_ids)
+        tasks = self._ctx.SimpleQueue()
+        control_recv, control_send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(wid, self._shared.handle, tasks, self._results, control_recv),
+            name=f"repro-service-worker-{wid}",
+            daemon=True,
+        )
+        process.start()
+        control_recv.close()  # the worker holds the receiving end now
+        worker = _Worker(wid, process, tasks, control_send)
+        self._workers[wid] = worker
+        return worker
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live workers (fault-injection tests kill these)."""
+        with self._lock:
+            return [
+                w.process.pid
+                for w in self._workers.values()
+                if not w.retired and w.process.is_alive()
+            ]
+
+    def stats(self) -> dict:
+        """Small introspection dict (also served over ``ping``)."""
+        with self._lock:
+            active = [s for s in self._requests.values() if not s.finished]
+            return {
+                "workers": len([w for w in self._workers.values() if not w.retired]),
+                "active_requests": len(active),
+                "queued_parts": len(self._pending),
+                "requeues": sum(s.requeues for s in self._requests.values()),
+                "num_nodes": self._csr.num_nodes,
+                "num_edges": self._csr.num_edges,
+            }
+
+    def close(self) -> None:
+        """Graceful shutdown: stop workers, unlink the shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        with self._lock:
+            for state in self._requests.values():
+                if not state.finished:
+                    self._finalize(state, error="daemon shutting down")
+            self._pending.clear()
+        self._stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=_SHUTDOWN_GRACE + 3)
+        for worker in self._workers.values():
+            if worker.retired:
+                continue
+            try:
+                worker.tasks.put(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + _SHUTDOWN_GRACE
+        for worker in self._workers.values():
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        if self._results is not None:
+            self._results.close()
+            self._results.cancel_join_thread()
+        if self._owns_segment:
+            self._shared.close()
+            self._shared.unlink()
+        atexit.unregister(self._atexit_cleanup)
+
+    def _atexit_cleanup(self) -> None:  # pragma: no cover - exit path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "Daemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: EstimateRequest,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> RequestHandle:
+        """Admit a request; returns a :class:`RequestHandle`.
+
+        Blocks while the daemon already holds ``max_pending`` unfinished
+        requests (``block=False`` raises :class:`ServiceOverloaded`
+        immediately instead).
+        """
+        if self._closed:
+            raise ServiceClosed("daemon is closed")
+        if not self._started:
+            self.start()
+        get_estimator(request.method)  # unknown methods fail fast, pre-queue
+        if (
+            request.fanout
+            and request.chains > 1
+            and normalize(request.method) in CHAINLESS_METHODS
+        ):
+            raise ValueError(
+                f"method {request.method!r} has no independent-chain "
+                "decomposition; submit it with fanout=False"
+            )
+        if not self._slots.acquire(blocking=block, timeout=timeout):
+            raise ServiceOverloaded(
+                f"daemon already holds {self._max_pending} unfinished "
+                "requests (bounded admission); retry later or submit with "
+                "block=True"
+            )
+        request_id = f"r{next(self._request_ids)}"
+        state = _RequestState(request_id, request, self._build_parts(request))
+        with self._lock:
+            self._requests[request_id] = state
+            for index in range(len(state.parts)):
+                self._pending.append((request_id, index))
+            self._dispatch()
+        return RequestHandle(self, state)
+
+    def estimate(self, method: str, **kwargs) -> Estimate:
+        """Convenience: submit + block for the final answer.
+
+        ``timeout`` (if any) is carried by the request itself via
+        ``timeout_seconds``; keyword arguments mirror
+        :class:`EstimateRequest`.
+        """
+        handle = self.submit(EstimateRequest(method=method, **kwargs))
+        return handle.result()
+
+    def _build_parts(self, request: EstimateRequest) -> List[_Part]:
+        base = dict(
+            method=request.method,
+            k=request.k,
+            seed_node=request.seed_node,
+            burn_in=request.burn_in,
+            backend=None,  # workers already hold the CSR substrate
+        )
+        if not request.fanout or request.chains == 1:
+            config = dict(
+                base,
+                budget=request.budget,
+                seed=request.seed,
+                chains=request.chains,
+            )
+            return [_Part(config)]
+        # Serial multi-chain seed derivation, chain order == part order.
+        rng = random.Random(request.seed)
+        budgets = split_budget(request.budget, request.chains)
+        return [
+            _Part(
+                dict(
+                    base,
+                    budget=budgets[index],
+                    seed=rng.randrange(2**63),
+                    chains=1,
+                )
+            )
+            for index in range(request.chains)
+        ]
+
+    def _cancel(self, state: _RequestState) -> None:
+        with self._lock:
+            if not state.finished:
+                self._finalize(state, error="cancelled by caller")
+
+    # ------------------------------------------------------------------
+    # Collector: routing, liveness, deadlines (single thread)
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while not self._stop.is_set():
+            frame = None
+            try:
+                frame = self._results.get(timeout=_POLL_SECONDS)
+            except (queue_module.Empty, OSError, EOFError, ValueError):
+                pass
+            with self._lock:
+                if frame is not None:
+                    self._route(frame)
+                    # Drain whatever else already arrived in this tick.
+                    while True:
+                        try:
+                            self._route(self._results.get_nowait())
+                        except (queue_module.Empty, OSError, EOFError, ValueError):
+                            break
+                self._reap_dead_workers()
+                self._enforce_deadlines()
+                self._dispatch()
+
+    def _route(self, frame) -> None:
+        kind, wid = frame[0], frame[1]
+        worker = self._workers.get(wid)
+        if kind == "ready":
+            if worker is not None and not worker.retired:
+                worker.idle = True
+            return
+        if kind == "stopped":
+            if worker is not None:
+                worker.retired = True
+                worker.idle = False
+            return
+        request_id, attempt, part_index = frame[2], frame[3], frame[4]
+        if kind in ("done", "error", "skipped") and worker is not None:
+            worker.idle = True
+            worker.inflight = None
+        state = self._requests.get(request_id)
+        if state is None or state.finished:
+            return
+        part = state.parts[part_index]
+        if attempt != part.attempt:
+            return  # stale frame from a pre-requeue incarnation
+        if kind == "partial":
+            part.latest = frame[5]
+            part.steps = frame[5].steps
+            self._emit_progress(state)
+        elif kind == "done":
+            part.final = frame[5]
+            part.latest = frame[5]
+            part.steps = frame[5].steps
+            if all(p.final is not None for p in state.parts):
+                self._finalize(state)
+            else:
+                self._emit_progress(state)
+        elif kind == "error":
+            self._finalize(state, error=frame[5])
+
+    def _reap_dead_workers(self) -> None:
+        dead = [
+            w
+            for w in self._workers.values()
+            if not w.retired and not w.process.is_alive()
+        ]
+        for worker in dead:
+            worker.retired = True
+            worker.idle = False
+            if worker.inflight is not None:
+                request_id, part_index, attempt = worker.inflight
+                worker.inflight = None
+                state = self._requests.get(request_id)
+                if state is not None and not state.finished:
+                    part = state.parts[part_index]
+                    if part.attempt == attempt and part.final is None:
+                        # Forget the dead incarnation's partial progress so
+                        # the retry replays the identical chain from step 0
+                        # (at-most-once per chain seed).
+                        part.attempt += 1
+                        part.latest = None
+                        part.steps = 0
+                        state.requeues += 1
+                        self._pending.appendleft((request_id, part_index))
+            if not self._stop.is_set() and not self._closed:
+                self._spawn_worker()
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for state in list(self._requests.values()):
+            if (
+                not state.finished
+                and state.deadline is not None
+                and now >= state.deadline
+            ):
+                self._finalize(state, timed_out=True)
+
+    def _dispatch(self) -> None:
+        idle = [
+            w
+            for w in self._workers.values()
+            if w.idle and not w.retired and w.process.is_alive()
+        ]
+        while idle and self._pending:
+            request_id, part_index = self._pending.popleft()
+            state = self._requests.get(request_id)
+            if state is None or state.finished:
+                continue
+            part = state.parts[part_index]
+            worker = idle.pop()
+            worker.idle = False
+            worker.inflight = (request_id, part_index, part.attempt)
+            worker.tasks.put(
+                (
+                    request_id,
+                    part.attempt,
+                    part_index,
+                    part.config,
+                    state.request.effective_snapshot_steps(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Pooling + snapshot emission (collector thread, lock held)
+    # ------------------------------------------------------------------
+    def _pool(self, state: _RequestState) -> Optional[Estimate]:
+        """Pooled estimate over the parts' freshest frames.
+
+        With every part final and parts in chain order this evaluates
+        the exact expressions of the serial multi-chain runner, so the
+        final fanout answer is bit-identical to the serial reference.
+        """
+        frames = [p.final if p.final is not None else p.latest for p in state.parts]
+        frames = [f for f in frames if f is not None]
+        if not frames:
+            return None
+        if len(state.parts) == 1:
+            return frames[0]
+        chains_done = len(frames)
+        first = frames[0]
+        meta = dict(first.meta)
+        meta["chains"] = state.request.chains if chains_done == len(
+            state.parts
+        ) else chains_done
+        return Estimate(
+            method=first.method,
+            k=first.k,
+            steps=int(sum(f.steps for f in frames)),
+            samples=int(sum(f.samples for f in frames)),
+            sums=np.sum([f.sums for f in frames], axis=0),
+            sample_counts=np.sum([f.sample_counts for f in frames], axis=0),
+            stderr=_between_chain_stderr([f.sums for f in frames]),
+            elapsed_seconds=sum(f.elapsed_seconds for f in frames),
+            meta=meta,
+        )
+
+    def _make_snapshot(self, state: _RequestState, **flags) -> Snapshot:
+        estimate = self._pool(state)
+        state.seq += 1
+        return Snapshot(
+            request_id=state.id,
+            seq=state.seq,
+            steps=0 if estimate is None else int(estimate.steps),
+            budget=state.request.budget,
+            estimate=estimate,
+            parts=len(state.parts),
+            parts_done=sum(1 for p in state.parts if p.final is not None),
+            **flags,
+        )
+
+    def _emit_progress(self, state: _RequestState) -> None:
+        snapshot = self._make_snapshot(state)
+        target = state.request.target_stderr
+        if target is not None and state.request.chains >= 2:
+            bound = snapshot.stderr_bound
+            if bound is not None and bound <= target:
+                self._finalize(state, early=True, progress_snapshot=snapshot)
+                return
+        state.snapshots.put(snapshot)
+
+    def _finalize(
+        self,
+        state: _RequestState,
+        *,
+        timed_out: bool = False,
+        error: Optional[str] = None,
+        early: bool = False,
+        progress_snapshot: Optional[Snapshot] = None,
+    ) -> None:
+        if state.finished:
+            return
+        state.finished = True
+        if progress_snapshot is not None:
+            snapshot = progress_snapshot
+            snapshot.final = True
+            snapshot.early_stopped = True
+        else:
+            snapshot = self._make_snapshot(
+                state, final=True, timed_out=timed_out, early_stopped=early
+            )
+            snapshot.error = error
+        state.final_snapshot = snapshot
+        state.snapshots.put(snapshot)
+        state.done.set()
+        # Cancel whatever is still queued or running for this request.
+        if any(p.final is None for p in state.parts):
+            for worker in self._workers.values():
+                if not worker.retired:
+                    try:
+                        worker.control.send(state.id)
+                    except (OSError, BrokenPipeError):
+                        pass
+        try:
+            self._slots.release()
+        except ValueError:  # pragma: no cover - defensive double-release
+            pass

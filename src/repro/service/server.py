@@ -1,0 +1,137 @@
+"""Socket front-end for a :class:`~repro.service.daemon.Daemon`.
+
+:class:`ServiceServer` listens on a ``multiprocessing.connection``
+address (a Unix-socket path by default, a ``(host, port)`` tuple for
+TCP) and speaks a tiny tuple protocol, one connection per request:
+
+    client -> server   ("estimate", EstimateRequest)
+                       ("ping",) | ("stats",) | ("shutdown",)
+    server -> client   ("snapshot", Snapshot) ...  progressive frames
+                       ("final", Snapshot)         exactly once
+                       ("error", message)          submission failed
+                       ("pong", stats_dict) | ("ok",)
+
+Objects travel pickled (``multiprocessing.connection`` framing), so the
+:class:`~repro.core.result.Estimate` inside each snapshot arrives
+bit-exact.  Every connection is served by its own thread; the daemon's
+bounded admission (``max_pending``) is the backpressure — an overloaded
+submit is reported as an ``("error", ...)`` frame instead of queueing
+unboundedly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing.connection import Listener
+from typing import Optional
+
+from .daemon import Daemon
+
+#: Default authkey for the connection handshake.  The Unix socket's file
+#: permissions are the real access control; the authkey just keeps
+#: stray processes from accidentally talking to the service.
+DEFAULT_AUTHKEY = b"repro-service"
+
+
+class ServiceServer:
+    """Serve a daemon over a socket until closed.
+
+    ``shutdown_event`` is set when a client sends ``("shutdown",)`` —
+    the CLI's ``repro serve`` waits on it (alongside SIGINT/SIGTERM)
+    and then tears down both server and daemon.
+    """
+
+    def __init__(
+        self,
+        daemon: Daemon,
+        address,
+        authkey: bytes = DEFAULT_AUTHKEY,
+    ) -> None:
+        self.daemon = daemon
+        self.address = address
+        self.authkey = authkey
+        self.shutdown_event = threading.Event()
+        self._listener: Optional[Listener] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = False
+
+    def start(self) -> "ServiceServer":
+        """Bind the address and begin accepting connections."""
+        if isinstance(self.address, str) and os.path.exists(self.address):
+            os.unlink(self.address)  # stale socket from a dead server
+        self._listener = Listener(self.address, authkey=self.authkey)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError):
+                if self._closing:
+                    return
+                continue  # failed handshake (e.g. wrong authkey)
+            except Exception:
+                if self._closing:
+                    return
+                continue
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn) -> None:
+        with conn:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            op = message[0]
+            try:
+                if op == "ping" or op == "stats":
+                    conn.send(("pong", self.daemon.stats()))
+                elif op == "shutdown":
+                    conn.send(("ok",))
+                    self.shutdown_event.set()
+                elif op == "estimate":
+                    self._serve_estimate(conn, message[1])
+                else:
+                    conn.send(("error", f"unknown operation {op!r}"))
+            except (BrokenPipeError, OSError):
+                pass  # client went away; nothing to tell it
+
+    def _serve_estimate(self, conn, request) -> None:
+        try:
+            handle = self.daemon.submit(request, block=False)
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            return
+        try:
+            for snapshot in handle.snapshots():
+                conn.send(
+                    ("final" if snapshot.final else "snapshot", snapshot)
+                )
+        except (BrokenPipeError, OSError):
+            handle.cancel()  # client hung up mid-stream; stop wasting budget
+
+    def close(self) -> None:
+        """Stop accepting and release the address (idempotent)."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,204 @@
+"""Worker-pool graph transports (ISSUE 6 satellite 4).
+
+``run_tasks`` ships the graph to pool workers as a small reference —
+shared-memory handle, source string, or (legacy) the pickled object —
+and every transport must produce rows bit-identical to the serial run.
+The per-worker cache behind the "source" transport must materialize the
+graph once per worker process, not once per trial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.experiments import engine
+from repro.experiments.engine import (
+    TrialTask,
+    canonical_line,
+    run_experiment,
+    run_tasks,
+)
+from repro.experiments.spec import ExperimentSpec, resolve_graph
+from repro.graphs import CSRGraph, SharedCSRGraph, barabasi_albert
+
+SOURCE = "ba:200:3:2"
+
+
+def _tasks(backend, n=4, budget=1500):
+    return [
+        TrialTask(
+            index=i,
+            trial=i,
+            method="srw2css",
+            k=4,
+            budget=budget,
+            seed=100 + i,
+            seed_node=0,
+            backend=backend,
+        )
+        for i in range(n)
+    ]
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transport": "object"},
+            {"transport": "shared"},
+            {"transport": "source", "graph_source": SOURCE},
+            {"transport": "auto"},
+            {"transport": "auto", "graph_source": SOURCE},
+        ],
+        ids=lambda kw: "+".join(
+            v for v in (kw["transport"], kw.get("graph_source", "")) if v
+        ),
+    )
+    def test_parallel_rows_equal_serial(self, kwargs):
+        graph = resolve_graph(SOURCE)
+        tasks = _tasks(backend="csr")
+        serial = [canonical_line(r) for r in run_tasks(graph, tasks, jobs=1)]
+        rows = run_tasks(graph, tasks, jobs=2, **kwargs)
+        assert [canonical_line(r) for r in rows] == serial
+
+    def test_list_backend_rides_source_transport(self):
+        graph = resolve_graph(SOURCE)
+        tasks = _tasks(backend="list")
+        serial = [canonical_line(r) for r in run_tasks(graph, tasks, jobs=1)]
+        rows = run_tasks(graph, tasks, jobs=2, graph_source=SOURCE)
+        assert [canonical_line(r) for r in rows] == serial
+
+    def test_unknown_transport_rejected(self):
+        graph = resolve_graph(SOURCE)
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_tasks(graph, _tasks(backend="csr"), jobs=2, transport="carrier")
+
+    def test_source_transport_requires_a_source(self):
+        graph = resolve_graph(SOURCE)
+        with pytest.raises(ValueError, match="needs graph_source"):
+            run_tasks(graph, _tasks(backend="csr"), jobs=2, transport="source")
+
+
+class TestAutoSelection:
+    def test_csr_graph_prefers_shared(self):
+        graph = CSRGraph.from_graph(barabasi_albert(50, 3, seed=1))
+        ref, shared = engine._graph_ref(graph, _tasks(backend=None), None, "auto")
+        assert ref[0] == "shared"
+        shared.close()
+        shared.unlink()
+
+    def test_all_csr_tasks_prefer_shared(self):
+        graph = barabasi_albert(50, 3, seed=1)
+        ref, shared = engine._graph_ref(graph, _tasks(backend="csr"), SOURCE, "auto")
+        assert ref[0] == "shared"
+        shared.close()
+        shared.unlink()
+
+    def test_list_tasks_fall_back_to_source_then_object(self):
+        graph = barabasi_albert(50, 3, seed=1)
+        ref, shared = engine._graph_ref(graph, _tasks(backend="list"), SOURCE, "auto")
+        assert (ref, shared) == (("source", SOURCE), None)
+        ref, shared = engine._graph_ref(graph, _tasks(backend="list"), None, "auto")
+        assert (ref, shared) == (("object", graph), None)
+
+
+class TestWorkerCache:
+    def test_worker_graph_materializes_once_per_key(self, monkeypatch):
+        """In-process unit check of the worker-side cache: repeated
+        lookups of the same ref hit the cache, distinct refs do not."""
+        calls = []
+
+        def counting_resolve(source):
+            calls.append(source)
+            return resolve_graph(source)
+
+        monkeypatch.setattr(engine, "resolve_graph", counting_resolve)
+        monkeypatch.setattr(engine, "_WORKER_GRAPHS", {})
+        monkeypatch.setattr(engine, "_WORKER_STATS", {"materializations": 0})
+
+        engine._init_worker(("source", "ba:40:3:1"))
+        first = engine._worker_graph()
+        assert engine._worker_graph() is first
+        assert calls == ["ba:40:3:1"]
+        assert engine._WORKER_STATS["materializations"] == 1
+
+        shared = CSRGraph.from_graph(barabasi_albert(40, 3, seed=1)).to_shared()
+        try:
+            engine._init_worker(("shared", shared.handle))
+            attached = engine._worker_graph()
+            assert isinstance(attached, SharedCSRGraph)
+            assert engine._worker_graph() is attached
+            assert engine._WORKER_STATS["materializations"] == 2
+            attached.close()
+        finally:
+            shared.close()
+            shared.unlink()
+        # Object refs bypass the cache entirely.
+        graph = barabasi_albert(40, 3, seed=1)
+        engine._init_worker(("object", graph))
+        assert engine._worker_graph() is graph
+        assert engine._WORKER_STATS["materializations"] == 2
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="the counting monkeypatch reaches pool workers via fork",
+    )
+    def test_pool_workers_materialize_once_each(self, monkeypatch):
+        """Regression for the per-trial resolve the old pool paid: with 6
+        trials on 2 workers the graph is materialized at most twice (once
+        per worker), never once per trial."""
+        counter = multiprocessing.Value("i", 0)
+        real_resolve = resolve_graph
+
+        def counting_resolve(source):
+            with counter.get_lock():
+                counter.value += 1
+            time.sleep(0.05)  # keep both workers busy long enough to start
+            return real_resolve(source)
+
+        # Pool workers are forked, so they inherit the patched module.
+        monkeypatch.setattr(engine, "resolve_graph", counting_resolve)
+        graph = resolve_graph(SOURCE)
+        tasks = _tasks(backend="list", n=6, budget=300)
+        serial = [canonical_line(r) for r in run_tasks(graph, tasks, jobs=1)]
+        rows = run_tasks(
+            graph, tasks, jobs=2, graph_source=SOURCE, transport="source"
+        )
+        assert [canonical_line(r) for r in rows] == serial
+        assert 1 <= counter.value <= 2, (
+            f"expected one materialization per worker, saw {counter.value} "
+            f"for {len(tasks)} trials"
+        )
+
+
+class TestRunExperimentWiring:
+    def test_spec_graph_source_reaches_run_tasks(self, monkeypatch):
+        captured = {}
+        real_run_tasks = engine.run_tasks
+
+        def spy(graph, tasks, jobs=1, on_row=None, *, graph_source=None,
+                transport="auto"):
+            captured["graph_source"] = graph_source
+            return real_run_tasks(
+                graph, tasks, jobs=jobs, on_row=on_row,
+                graph_source=graph_source, transport=transport,
+            )
+
+        monkeypatch.setattr(engine, "run_tasks", spy)
+        spec = ExperimentSpec(
+            name="transport-wiring",
+            graph="ba:60:3:1",
+            k=4,
+            methods=["srw2css"],
+            budget=400,
+            trials=2,
+        )
+        run_experiment(spec, jobs=1)
+        assert captured["graph_source"] == "ba:60:3:1"
+        # An injected graph fixture overrides the spec's source: workers
+        # must not re-resolve a source the trials never ran on.
+        run_experiment(spec, graph=resolve_graph("ba:60:3:1"), jobs=1)
+        assert captured["graph_source"] is None
