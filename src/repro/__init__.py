@@ -59,6 +59,8 @@ from .estimators import estimate
 from . import experiments
 from .experiments import ExperimentSpec, run_experiment
 from . import service
+from . import streaming
+from .streaming import ContinuousSession, EdgeStreamSpec
 from .evaluation import (
     convergence_sweep,
     cosine_similarity,
@@ -76,6 +78,7 @@ from .exact import (
 from .graphlets import Graphlet, graphlet_names, graphlets, num_graphlets
 from .graphs import (
     CSRGraph,
+    DeltaCSRGraph,
     Graph,
     GraphError,
     RestrictedGraph,
@@ -95,6 +98,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CSRGraph",
+    "ContinuousSession",
+    "DeltaCSRGraph",
+    "EdgeStreamSpec",
     "Estimate",
     "EstimationConfig",
     "Estimator",
@@ -146,6 +152,7 @@ __all__ = [
     "sample_size_bound",
     "service",
     "srw_estimate",
+    "streaming",
     "triangle_count",
     "walk_space",
     "watts_strogatz",

@@ -11,6 +11,7 @@
     python -m repro compare --dataset karate -k 3 --steps 5000 --trials 10
     python -m repro compare --dataset karate -k 3 --methods SRW1,wedge,exact
     python -m repro bound --dataset karate -k 3 -d 1 --graphlet triangle
+    python -m repro monitor --source ba:400:3:5 -k 3 --batches 6 --churn 12
 
 ``estimate`` and ``compare`` are driven purely off the estimator
 registry (:mod:`repro.estimators`): any registered method name — the
@@ -367,6 +368,59 @@ def cmd_query(args) -> int:
     return status
 
 
+def cmd_monitor(args) -> int:
+    from .core import recommended_method as recommend
+    from .streaming import ContinuousSession, EdgeStreamSpec
+
+    method = args.method or recommend(args.k)
+    try:
+        target = graphlet_by_name(args.k, args.graphlet)
+        stream = EdgeStreamSpec(
+            graph=args.source,
+            batches=args.batches,
+            inserts_per_batch=args.inserts if args.inserts is not None else args.churn,
+            deletes_per_batch=args.deletes if args.deletes is not None else args.churn,
+            seed=args.stream_seed,
+        )
+        session = ContinuousSession(
+            stream.base_graph(),
+            method,
+            k=args.k,
+            chains=args.chains,
+            refresh_budget=args.refresh_steps,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+    def _line(estimate, reprojected: int, delta: str) -> None:
+        meta = estimate.meta
+        value = float(estimate.concentrations[target.index])
+        err = estimate.stderr
+        err_note = (
+            f" stderr={float(err[target.index]):.2e}" if err is not None else ""
+        )
+        print(
+            f"[v{meta['graph_version']}] steps={estimate.steps}"
+            f" c[{target.name}]={value:.5f}{err_note}"
+            f" reprojected={reprojected}{delta}"
+        )
+
+    print(
+        f"monitor: {method} k={args.k} on {args.source}, "
+        f"{args.chains} chains x {args.refresh_steps} steps/refresh, "
+        f"{stream.batches} update batches",
+        file=sys.stderr,
+    )
+    _line(session.refresh(), 0, " (warm-up)")
+    for batch in stream.edge_batches():
+        report = session.apply_updates(inserts=batch.inserts, deletes=batch.deletes)
+        delta = f" (+{report.inserts}/-{report.deletes})"
+        _line(session.refresh(), len(report.touched), delta)
+    return 0
+
+
 def cmd_bound(args) -> int:
     graph = _resolve_graph(args)
     index = graphlet_by_name(args.k, args.graphlet).index
@@ -411,9 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default=None,
-        choices=("list", "csr"),
+        choices=("list", "csr", "delta"),
         help="graph storage backend (csr enables vectorized multi-chain "
-        "walks for every G(d), including SRW3/SRW4/PSRW)",
+        "walks for every G(d), including SRW3/SRW4/PSRW; delta wraps the "
+        "graph in an updatable overlay with the same fast paths)",
     )
     p.add_argument(
         "--chains",
@@ -559,6 +614,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true", help="ask the daemon to shut down"
     )
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "monitor",
+        help="continuous estimation over a seeded edge stream: apply "
+        "update batches, re-project touched chains, print one refreshed "
+        "estimate per batch",
+    )
+    p.add_argument(
+        "--source",
+        default="ba:400:3:5",
+        help="spec graph source for the base graph (e.g. ba:400:3:5 "
+        "or dataset:karate)",
+    )
+    p.add_argument("-k", type=int, default=3, choices=(3, 4, 5))
+    p.add_argument(
+        "--method",
+        default=None,
+        help="any SRW{d}[CSS][NB] method; default: paper's pick for k",
+    )
+    p.add_argument(
+        "--graphlet", default="triangle", help="graphlet whose concentration is printed"
+    )
+    p.add_argument("--chains", type=int, default=8)
+    p.add_argument(
+        "--refresh-steps", type=int, default=4_000, dest="refresh_steps",
+        help="walk steps added per refresh",
+    )
+    p.add_argument("--batches", type=int, default=6, help="update batches to stream")
+    p.add_argument(
+        "--churn", type=int, default=12,
+        help="edges inserted and deleted per batch (see --inserts/--deletes)",
+    )
+    p.add_argument(
+        "--inserts", type=int, default=None, help="inserts per batch (overrides --churn)"
+    )
+    p.add_argument(
+        "--deletes", type=int, default=None, help="deletes per batch (overrides --churn)"
+    )
+    p.add_argument(
+        "--stream-seed", type=int, default=0, dest="stream_seed",
+        help="seed of the synthetic edge stream",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed of the walk chains")
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("bound", help="Theorem 3 sample-size bound")
     _add_graph_arguments(p)

@@ -27,8 +27,8 @@ block-at-a-time through :class:`_VectorizedAccumulator` (CSS weights
 gather through the compiled :func:`~repro.core.css.css_weight_table`,
 d >= 3 state degrees through the swap-frontier kernel of
 :mod:`repro.relgraph.vectorized`); on other backends chains run serially
-and a :class:`~repro.walks.batched.BatchFallbackWarning` is emitted once.
-``chains=1`` (the default) is byte-for-byte the seed estimator.
+and a :class:`~repro.walks.batched.BatchFallbackWarning` is emitted once
+per run.  ``chains=1`` (the default) is byte-for-byte the seed estimator.
 """
 
 from __future__ import annotations
@@ -788,7 +788,10 @@ def _run_multichain(
         )
         stderr = _between_chain_stderr([acc.chain_sums[b] for b in range(chains)])
     else:
-        warn_serial_fallback(graph, d, stacklevel=3)
+        # Fresh registry per run: a long-lived process running many
+        # estimations is warned about each degraded run, not just the
+        # first (see warn_serial_fallback).
+        warn_serial_fallback(graph, d, stacklevel=3, registry={})
         chain_results = [
             _run_walk(
                 graph,
@@ -883,6 +886,9 @@ class SRWSession(Session):
         self._stream: Optional[_VectorizedAccumulator] = None
         self._cursor = 0
         self._delegated: Optional[Estimate] = None
+        # Per-session fallback-warning dedup scope (one warning per
+        # session, however many internal sites check).
+        self._warn_registry: Dict = {}
 
     def _chain_budgets(self) -> List[int]:
         """The shared even budget split (bit-parity with the one-shot run)."""
@@ -920,7 +926,9 @@ class SRWSession(Session):
             return
         graph, spec, chains = self.graph, self.spec, self._chains
         if chains > 1:
-            warn_serial_fallback(graph, spec.d, stacklevel=4)
+            warn_serial_fallback(
+                graph, spec.d, stacklevel=4, registry=self._warn_registry
+            )
         space = walk_space(spec.d)
         effective_degree = _effective_degree_fn(graph, space, spec)
         budgets = self._chain_budgets()

@@ -114,6 +114,17 @@ class Session(ABC):
         """Whether the budget is exhausted."""
         return self._consumed >= self._budget
 
+    def _extend_budget(self, extra: int) -> None:
+        """Grow the total budget by ``extra`` units.
+
+        Protected hook for open-ended subclasses (continuous sessions
+        over edge streams top their budget up per refresh); ordinary
+        fixed-budget sessions never call it.
+        """
+        if extra < 0:
+            raise ValueError(f"extra must be >= 0, got {extra}")
+        self._budget += int(extra)
+
     def step(self, n: Optional[int] = None) -> int:
         """Advance by up to ``n`` budget units (all remaining if None).
 

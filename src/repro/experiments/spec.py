@@ -13,7 +13,11 @@ Graph sources are strings so specs stay serializable:
 * ``"dataset:<name>"`` — a registered dataset (``"dataset:karate"``);
   a bare registered name is accepted as shorthand;
 * ``"ba:<n>:<m>:<seed>"`` — a Barabási–Albert graph generated on the
-  fly (the CI smoke suite uses one so it never depends on data files).
+  fly (the CI smoke suite uses one so it never depends on data files);
+* ``"stream:<n>:<m>:<seed>:<batches>:<churn>"`` — a BA graph churned
+  through ``batches`` seeded insert/delete rounds of ``churn`` edges
+  each (:class:`~repro.streaming.EdgeStreamSpec`) and compacted — the
+  post-stream graph the ``stream-smoke`` suite grades against.
 """
 
 from __future__ import annotations
@@ -58,11 +62,30 @@ def resolve_graph(source: str) -> Graph:
                 f"malformed BA graph source {source!r}; expected 'ba:<n>:<m>:<seed>'"
             ) from None
         return barabasi_albert(n, m, seed=seed)
+    if kind == "stream":
+        from ..streaming import EdgeStreamSpec  # lazy: streaming imports us
+
+        try:
+            n, m, seed, batches, churn = (int(part) for part in rest.split(":"))
+        except ValueError:
+            raise ValueError(
+                f"malformed stream graph source {source!r}; expected "
+                "'stream:<n>:<m>:<seed>:<batches>:<churn>'"
+            ) from None
+        stream = EdgeStreamSpec(
+            graph=f"ba:{n}:{m}:{seed}",
+            batches=batches,
+            inserts_per_batch=churn,
+            deletes_per_batch=churn,
+            seed=seed,
+        )
+        return stream.churned_graph().to_graph()
     if text in list_datasets():
         return load_dataset(text)
     raise ValueError(
         f"unknown graph source {source!r}; use 'dataset:<name>' "
-        f"(names: {', '.join(list_datasets())}) or 'ba:<n>:<m>:<seed>'"
+        f"(names: {', '.join(list_datasets())}), 'ba:<n>:<m>:<seed>', or "
+        "'stream:<n>:<m>:<seed>:<batches>:<churn>'"
     )
 
 

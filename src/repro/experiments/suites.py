@@ -21,6 +21,13 @@ in the ``BENCH_*`` trajectory artifacts commit over commit.
 (k = 4, PSRW's regime — the expensive walks of the paper's Table 6) at
 ``chains=256`` on the CSR backend, tracking the swap-frontier engine's
 throughput commit over commit.
+
+``stream-smoke`` is the dynamic-graph trajectory suite: the graded
+graph is a BA graph churned through a seeded
+:class:`~repro.streaming.EdgeStreamSpec` and compacted (the ``stream:``
+source grammar), so the delta overlay's compaction path sits inside the
+parallel/serial bit-identity check — and the refresh benchmark
+(``benchmarks/bench_stream_refresh.py``) reuses the same workload shape.
 """
 
 from __future__ import annotations
@@ -95,6 +102,29 @@ def _srw3_speedup() -> Tuple[ExperimentSpec, ...]:
             description=(
                 "d >= 3 fast-path throughput: vectorized SRW3 (k=4) at "
                 "chains=256 on the CSR backend"
+            ),
+        ),
+    )
+
+
+def _stream_smoke() -> Tuple[ExperimentSpec, ...]:
+    return (
+        ExperimentSpec(
+            name="stream-smoke",
+            graph="stream:400:3:5:6:12",
+            k=3,
+            methods=("SRW1", "SRW1CSSNB"),
+            budget=1_200,
+            trials=6,
+            base_seed=11,
+            seed_strategy="spawn",
+            starts="random",
+            target="triangle",
+            chains=4,
+            backend="csr",
+            description=(
+                "dynamic-graph trajectory suite: BA(400, 3) churned through "
+                "6 seeded batches of 12 inserts + 12 deletes, compacted"
             ),
         ),
     )
@@ -253,6 +283,7 @@ def _fig8() -> Tuple[ExperimentSpec, ...]:
 
 _SUITES = {
     "smoke": _smoke,
+    "stream-smoke": _stream_smoke,
     "css-speedup": _css_speedup,
     "srw3-speedup": _srw3_speedup,
     "fig4": _fig4,

@@ -336,18 +336,21 @@ class CSRGraph:
         return SharedCSRGraph.attach(handle)
 
 
-BACKENDS = ("list", "csr")
+BACKENDS = ("list", "csr", "delta")
 
 
 def as_backend(graph, backend: str, context: Optional[str] = None):
     """Convert ``graph`` to the named storage backend.
 
     ``"list"`` is the seed :class:`Graph` (lists + sets); ``"csr"`` is
-    :class:`CSRGraph`.  A graph already in the requested backend is
-    returned unchanged.  ``context`` names the call site requesting the
-    conversion so failures (e.g. a :class:`RestrictedGraph` asked to
-    become CSR) point at the flag to change rather than at library
-    internals.
+    :class:`CSRGraph`; ``"delta"`` is the mutable
+    :class:`~repro.graphs.delta.DeltaCSRGraph` overlay for edge-stream
+    workloads.  A graph already in the requested backend is returned
+    unchanged — identity, not a copy (a ``DeltaCSRGraph`` counts as
+    ``"csr"``: it serves the full CSR read surface).  ``context`` names
+    the call site requesting the conversion so failures (e.g. a
+    :class:`RestrictedGraph` asked to become CSR) point at the flag to
+    change rather than at library internals.
     """
     if backend == "list":
         return graph.to_graph() if isinstance(graph, CSRGraph) else graph
@@ -363,4 +366,14 @@ def as_backend(graph, backend: str, context: Optional[str] = None):
                 "to keep the crawl-access wrapper as-is, or convert the "
                 "underlying full-access graph to CSR before wrapping it"
             ) from None
+    if backend == "delta":
+        from .delta import DeltaCSRGraph
+
+        if isinstance(graph, DeltaCSRGraph):
+            return graph
+        try:
+            return DeltaCSRGraph(CSRGraph.from_graph(graph))
+        except GraphError as exc:
+            site = context or 'as_backend(graph, "delta")'
+            raise GraphError(f"{site}: {exc}") from None
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -41,6 +41,24 @@ is bounded: at most ``max_pending`` requests are in the system, further
 Shutdown unlinks the shared segment; an ``atexit`` hook (plus the
 resource tracker's owner registration) keeps even a crashed daemon from
 leaking ``/dev/shm`` segments.
+
+Dynamic graphs
+--------------
+:meth:`Daemon.apply_updates` accepts an edge-update batch: the served
+graph is wrapped in a :class:`~repro.graphs.delta.DeltaCSRGraph` overlay
+on first use and the batch goes through its validated ``apply``.  With
+``compact=True`` (the default) the overlay is immediately compacted and
+the fresh CSR **republished**: a new shared segment is created, a new
+worker pool attaches it, and the old workers are retired with a poison
+pill — each finishes its in-flight part on the old snapshot first, so
+running requests keep snapshot isolation (a part started before the
+republish answers from the graph version it started on; fanout requests
+spanning a republish may mix versions across parts).  The old segment is
+unlinked once the swap is done — POSIX keeps its pages alive for the
+draining workers still attached.  With ``compact=False`` updates only
+accumulate in the overlay (served to *new* local reads through
+``daemon.graph``); workers keep the published snapshot until the next
+compacting update.
 """
 
 from __future__ import annotations
@@ -314,7 +332,77 @@ class Daemon:
                 "requeues": sum(s.requeues for s in self._requests.values()),
                 "num_nodes": self._csr.num_nodes,
                 "num_edges": self._csr.num_edges,
+                "graph_version": int(getattr(self._csr, "version", 0)),
             }
+
+    # ------------------------------------------------------------------
+    # Dynamic graph updates
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self, inserts=(), deletes=(), *, compact: bool = True
+    ) -> dict:
+        """Apply one edge-update batch to the served graph.
+
+        The graph is wrapped in a
+        :class:`~repro.graphs.delta.DeltaCSRGraph` overlay on first use
+        (``daemon.graph`` is the overlay from then on); the batch is
+        validated and atomic, bumping the overlay's ``version``.  With
+        ``compact=True`` the overlay is compacted and — if the pool is
+        running — the fresh CSR is republished: new segment, new
+        workers, old workers retired after draining their in-flight
+        parts, old segment unlinked.  Returns a small stats dict
+        (``version``, ``num_edges``, ``republished``).
+        """
+        from ..graphs.delta import DeltaCSRGraph
+
+        if self._closed:
+            raise ServiceClosed("daemon is closed")
+        with self._lock:
+            if not isinstance(self._csr, DeltaCSRGraph):
+                self._csr = DeltaCSRGraph(self._csr)
+                # Any future publication is a fresh segment the daemon owns
+                # (a caller-provided shared segment stays with the caller).
+                self._owns_segment = True
+            delta = self._csr
+            delta.apply(inserts=inserts, deletes=deletes)
+            republished = False
+            if compact:
+                fresh = delta.compact()
+                if self._started:
+                    self._republish(fresh)
+                    republished = True
+            return {
+                "version": delta.version,
+                "num_edges": delta.num_edges,
+                "republished": republished,
+            }
+
+    def _republish(self, csr: CSRGraph) -> None:
+        """Swap the published segment and worker pool (lock held).
+
+        Old workers get a poison pill after their current part: a busy
+        worker finishes the part it holds against the old (unlinked but
+        still mapped) segment, then exits.  A retired worker that dies
+        mid-part is caught by :meth:`_reap_dead_workers`, which requeues
+        the part for the new pool without respawning the old one.
+        """
+        old_shared, old_owned = self._shared, self._owns_segment
+        self._shared = csr.to_shared()
+        self._owns_segment = True
+        for worker in list(self._workers.values()):
+            if worker.retired:
+                continue
+            worker.retired = True
+            worker.idle = False
+            try:
+                worker.tasks.put(None)
+            except Exception:  # pragma: no cover - dying worker queue
+                pass
+        for _ in range(self._num_workers):
+            self._spawn_worker()
+        if old_shared is not None and old_owned:
+            old_shared.close()
+            old_shared.unlink()
 
     def close(self) -> None:
         """Graceful shutdown: stop workers, unlink the shared segment."""
@@ -516,12 +604,18 @@ class Daemon:
             self._finalize(state, error=frame[5])
 
     def _reap_dead_workers(self) -> None:
+        # A retired worker (pilled by a republish) still holds its
+        # in-flight part until it finishes or dies; if it dies, the part
+        # must be requeued for the new pool — but the old pool must not
+        # be respawned.
         dead = [
             w
             for w in self._workers.values()
-            if not w.retired and not w.process.is_alive()
+            if not w.process.is_alive()
+            and (not w.retired or w.inflight is not None)
         ]
         for worker in dead:
+            was_retired = worker.retired
             worker.retired = True
             worker.idle = False
             if worker.inflight is not None:
@@ -539,7 +633,7 @@ class Daemon:
                         part.steps = 0
                         state.requeues += 1
                         self._pending.appendleft((request_id, part_index))
-            if not self._stop.is_set() and not self._closed:
+            if not was_retired and not self._stop.is_set() and not self._closed:
                 self._spawn_worker()
 
     def _enforce_deadlines(self) -> None:

@@ -1,0 +1,22 @@
+"""Dynamic graphs: edge streams and continuous any-time estimation.
+
+The subsystem has two halves (see docs/STREAMING.md):
+
+* :class:`~repro.streaming.stream.EdgeStreamSpec` — seeded synthetic
+  edge churn over a generated base graph, the reproducible workload; and
+* :class:`~repro.streaming.continuous.ContinuousSession` — a streaming
+  session over a :class:`~repro.graphs.delta.DeltaCSRGraph` overlay that
+  keeps its walk chains warm across graph versions and re-projects only
+  the chains an update batch actually touched.
+"""
+
+from .continuous import ContinuousSession, StreamError, UpdateReport
+from .stream import EdgeBatch, EdgeStreamSpec
+
+__all__ = [
+    "ContinuousSession",
+    "EdgeBatch",
+    "EdgeStreamSpec",
+    "StreamError",
+    "UpdateReport",
+]

@@ -38,6 +38,7 @@ once (:class:`BatchFallbackWarning`) when a multi-chain run degrades.
 
 from __future__ import annotations
 
+import sys
 import warnings
 from typing import Optional, Sequence, Tuple
 
@@ -53,7 +54,8 @@ DEFAULT_BLOCK = 1024
 
 class BatchFallbackWarning(UserWarning):
     """A multi-chain run silently lost its vectorized engine and degraded
-    to the serial per-chain loop (emitted once per distinct reason)."""
+    to the serial per-chain loop (emitted once per distinct reason *per
+    invocation* — every ``run_estimation`` call / session warns afresh)."""
 
 
 def batch_support(graph, d: int) -> Tuple[bool, Optional[str]]:
@@ -80,16 +82,36 @@ def batch_capable(graph, d: int) -> bool:
     return batch_support(graph, d)[0]
 
 
-def warn_serial_fallback(graph, d: int, stacklevel: int = 2) -> None:
-    """Emit the once-per-reason :class:`BatchFallbackWarning` for a
-    multi-chain run that cannot ride the batched engine."""
+def warn_serial_fallback(
+    graph, d: int, stacklevel: int = 2, registry: Optional[dict] = None
+) -> None:
+    """Emit the :class:`BatchFallbackWarning` for a multi-chain run that
+    cannot ride the batched engine.
+
+    Deduplication is **per invocation**, not per process: ``registry``
+    is the ``__warningregistry__``-style dict that scopes the "default"
+    filter's once-per-location suppression.  Callers that represent one
+    logical invocation spanning several calls (a session warning from
+    multiple internal sites) pass a shared dict; with ``registry=None``
+    every call gets a fresh registry, so a long-lived daemon that runs
+    many estimations is warned about *each* degradation rather than only
+    the first one in the process (plain ``warnings.warn`` would pin the
+    suppression to this module's global ``__warningregistry__``).
+    """
     supported, reason = batch_support(graph, d)
     if supported:  # pragma: no cover - callers check first
         return
-    warnings.warn(
+    try:
+        frame = sys._getframe(stacklevel)
+    except ValueError:  # pragma: no cover - shallow call stack
+        frame = sys._getframe(1)
+    warnings.warn_explicit(
         f"multi-chain run falling back to serial per-chain walks: {reason}",
         BatchFallbackWarning,
-        stacklevel=stacklevel + 1,
+        frame.f_code.co_filename,
+        frame.f_lineno,
+        module=frame.f_globals.get("__name__", "repro"),
+        registry={} if registry is None else registry,
     )
 
 
@@ -115,6 +137,15 @@ class BatchedWalkEngine:
         Use the NB-SRW transition kernel (§4.2).
     seed_nodes:
         Optional per-chain starting nodes, length ``chains``.
+    initial_states:
+        Optional pre-built G(d) states to resume from — shape ``(B,)``
+        for d = 1, ``(B, d)`` otherwise.  When given, ``seed_node`` /
+        ``seed_nodes`` are ignored and **no RNG draws** happen during
+        construction (the vectorized initial-state growth is skipped),
+        so a continuous session can carry chains across graph versions
+        without perturbing the transition stream.  States are trusted:
+        callers re-project any state invalidated by a graph change
+        before resuming (see :mod:`repro.streaming`).
     """
 
     def __init__(
@@ -126,6 +157,7 @@ class BatchedWalkEngine:
         seed_node: int = 0,
         non_backtracking: bool = False,
         seed_nodes: Optional[Sequence[int]] = None,
+        initial_states: Optional[np.ndarray] = None,
     ) -> None:
         if not isinstance(csr, CSRGraph):
             raise TypeError("BatchedWalkEngine requires a CSRGraph substrate")
@@ -141,19 +173,27 @@ class BatchedWalkEngine:
         self.steps_taken = 0
         self.space: VectorSpace = vector_space(d)
 
-        starts = (
-            np.full(chains, seed_node, dtype=np.int64)
-            if seed_nodes is None
-            else np.asarray(list(seed_nodes), dtype=np.int64)
-        )
-        if starts.shape != (chains,):
-            raise ValueError(f"seed_nodes must have length {chains}")
-        degs = csr.degrees_array
-        if np.any(degs[starts] == 0):
-            bad = int(starts[degs[starts] == 0][0])
-            raise ValueError(f"seed node {bad} is isolated")
-
-        self._cur = self.space.initial(csr, rng, starts)
+        if initial_states is not None:
+            states = np.asarray(initial_states, dtype=np.int64).copy()
+            want = (chains,) if d == 1 else (chains, d)
+            if states.shape != want:
+                raise ValueError(
+                    f"initial_states must have shape {want}, got {states.shape}"
+                )
+            self._cur = states
+        else:
+            starts = (
+                np.full(chains, seed_node, dtype=np.int64)
+                if seed_nodes is None
+                else np.asarray(list(seed_nodes), dtype=np.int64)
+            )
+            if starts.shape != (chains,):
+                raise ValueError(f"seed_nodes must have length {chains}")
+            degs = csr.degrees_array
+            if np.any(degs[starts] == 0):
+                bad = int(starts[degs[starts] == 0][0])
+                raise ValueError(f"seed node {bad} is isolated")
+            self._cur = self.space.initial(csr, rng, starts)
         self._prev = None  # previous states, set once NB chains have moved
 
     # ------------------------------------------------------------------

@@ -199,6 +199,28 @@ class TestMultiChain:
         assert result.steps == 20_000
         assert np.abs(result.concentrations - truth).max() < 0.07
 
+    def test_serial_fallback_warns_once_per_run(self, karate):
+        # The once-per-reason dedup is scoped to each run_estimation
+        # invocation, not the process: a second run in the same process
+        # warns again, but one run with many chains warns only once.
+        # (pytest.warns installs an "always" filter that bypasses
+        # warning registries, so drive the default filter explicitly.)
+        import warnings
+
+        from repro.walks import BatchFallbackWarning
+
+        spec = MethodSpec.parse("SRW1", 3)
+
+        def fallback_warnings():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("default")
+                run_estimation(karate, spec, 400, rng=random.Random(7), chains=4)
+            return [w for w in caught if w.category is BatchFallbackWarning]
+
+        first, second = fallback_warnings(), fallback_warnings()
+        assert len(first) == 1, "4 serial chains must warn exactly once"
+        assert len(second) == 1, "a fresh run must warn again"
+
     def test_batched_d3_multichain(self, karate):
         # d >= 3 rides the batched engine on CSR since the swap-frontier
         # kernels landed; the estimates still converge to truth.

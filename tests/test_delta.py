@@ -1,0 +1,214 @@
+"""DeltaCSRGraph: read parity with from-scratch rebuilds, compaction
+bit-identity, batch validation, and backend integration."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MethodSpec, run_estimation
+from repro.graphs import (
+    CSRGraph,
+    DeltaCSRGraph,
+    Graph,
+    GraphError,
+    as_backend,
+    barabasi_albert,
+)
+from repro.walks import batch_capable
+
+
+def all_pairs(n):
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+def rebuild(n, live):
+    """From-scratch CSR over a live edge set — the parity reference."""
+    return CSRGraph.from_edges(sorted(live), num_nodes=n)
+
+
+def assert_reads_match(delta: DeltaCSRGraph, reference: CSRGraph) -> None:
+    n = reference.num_nodes
+    assert delta.num_nodes == n
+    assert delta.num_edges == reference.num_edges
+    assert np.array_equal(delta.degrees_array, reference.degrees_array)
+    for v in range(n):
+        assert delta.degree(v) == reference.degree(v)
+        assert np.array_equal(delta.neighbors(v), reference.neighbors(v))
+        assert delta.neighbor_set(v) == reference.neighbor_set(v)
+    pairs = np.array(all_pairs(n) or [(0, 0)], dtype=np.int64)
+    for us, vs in ((pairs[:, 0], pairs[:, 1]), (pairs[:, 1], pairs[:, 0])):
+        assert np.array_equal(
+            delta.has_edges(us, vs), reference.has_edges(us, vs)
+        )
+    for u, v in pairs[:20]:
+        assert delta.has_edge(int(u), int(v)) == reference.has_edge(int(u), int(v))
+    assert list(delta.edges()) == list(reference.edges())
+    # The merged indptr/indices the vectorized kernels gather.
+    assert np.array_equal(delta.indptr, reference.indptr)
+    assert np.array_equal(delta.indices, reference.indices)
+
+
+@st.composite
+def churn_scenarios(draw):
+    """A start graph plus a batched insert/delete schedule.
+
+    Each step picks candidate pairs; whether a pair is an insert or a
+    delete is decided against the tracked live set, so every generated
+    batch is valid by construction.
+    """
+    n = draw(st.integers(min_value=2, max_value=10))
+    pairs = all_pairs(n)
+    initial = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+    batches = draw(
+        st.lists(
+            st.lists(st.sampled_from(pairs), unique=True, min_size=1, max_size=6),
+            max_size=6,
+        )
+    )
+    return n, initial, batches
+
+
+class TestReadParity:
+    @settings(max_examples=60)
+    @given(churn_scenarios())
+    def test_arbitrary_churn_matches_rebuild(self, scenario):
+        n, initial, batches = scenario
+        live = set(initial)
+        delta = DeltaCSRGraph(rebuild(n, live))
+        for batch in batches:
+            inserts = [e for e in batch if e not in live]
+            deletes = [e for e in batch if e in live]
+            delta.apply(inserts=inserts, deletes=deletes)
+            live = (live - set(deletes)) | set(inserts)
+            assert_reads_match(delta, rebuild(n, live))
+
+    @settings(max_examples=30)
+    @given(churn_scenarios())
+    def test_compact_bit_identical_to_rebuild(self, scenario):
+        n, initial, batches = scenario
+        live = set(initial)
+        delta = DeltaCSRGraph(rebuild(n, live))
+        for batch in batches:
+            inserts = [e for e in batch if e not in live]
+            deletes = [e for e in batch if e in live]
+            delta.apply(inserts=inserts, deletes=deletes)
+            live = (live - set(deletes)) | set(inserts)
+        fresh = delta.compact()
+        reference = rebuild(n, live)
+        assert np.array_equal(fresh.indptr, reference.indptr)
+        assert np.array_equal(fresh.indices, reference.indices)
+        # The overlay rebased: clean log, reads still serve the live set.
+        assert delta.delta_edges == 0
+        assert_reads_match(delta, reference)
+
+    def test_insert_then_delete_cancels(self):
+        delta = DeltaCSRGraph(Graph(4, [(0, 1)]))
+        delta.apply(inserts=[(2, 3)])
+        delta.apply(deletes=[(2, 3)])
+        assert not delta.has_edge(2, 3)
+        assert delta.num_edges == 1
+        # The log keeps both operations; the flip index cancels them.
+        assert delta.delta_edges == 2
+        reference = CSRGraph.from_graph(Graph(4, [(0, 1)]))
+        assert np.array_equal(delta.compact().indices, reference.indices)
+
+
+class TestValidationAndVersioning:
+    @pytest.fixture()
+    def delta(self):
+        return DeltaCSRGraph(Graph(5, [(0, 1), (1, 2), (2, 3)]))
+
+    def test_insert_present_rejected(self, delta):
+        with pytest.raises(GraphError, match=r"insert \(0, 1\)"):
+            delta.apply(inserts=[(1, 0)])
+
+    def test_delete_absent_rejected(self, delta):
+        with pytest.raises(GraphError, match=r"delete \(0, 4\)"):
+            delta.apply(deletes=[(4, 0)])
+
+    def test_duplicate_in_batch_rejected(self, delta):
+        with pytest.raises(GraphError, match="duplicate"):
+            delta.apply(inserts=[(0, 3), (3, 0)])
+
+    def test_insert_delete_clash_rejected(self, delta):
+        with pytest.raises(GraphError, match="both inserts and deletes"):
+            delta.apply(inserts=[(0, 1)], deletes=[(0, 1)])
+
+    def test_out_of_range_and_self_loop_rejected(self, delta):
+        with pytest.raises(GraphError, match="out of range"):
+            delta.apply(inserts=[(0, 5)])
+        with pytest.raises(GraphError, match="self-loop"):
+            delta.apply(inserts=[(2, 2)])
+
+    def test_failed_batch_leaves_overlay_untouched(self, delta):
+        before = (delta.version, delta.num_edges, list(delta.edges()))
+        with pytest.raises(GraphError):
+            delta.apply(inserts=[(0, 3)], deletes=[(0, 4)])
+        assert (delta.version, delta.num_edges, list(delta.edges())) == before
+
+    def test_version_monotone_and_compact_noop(self, delta):
+        assert delta.version == 0
+        assert delta.apply(inserts=[(0, 2)]) == 1
+        assert delta.apply(deletes=[(0, 2)]) == 2
+        assert delta.apply() == 2  # empty batch: no version bump
+        delta.compact()
+        assert delta.version == 3
+        base = delta.base
+        assert delta.compact() is base  # clean overlay: no-op
+        assert delta.version == 3
+
+
+class TestBackendIntegration:
+    def test_as_backend_noop_is_identity(self):
+        # Regression: the no-op fast path must return the same object,
+        # not an equal copy (callers rely on cache identity).
+        graph = Graph(4, [(0, 1), (1, 2)])
+        csr = CSRGraph.from_graph(graph)
+        delta = DeltaCSRGraph(csr)
+        assert as_backend(graph, "list") is graph
+        assert as_backend(csr, "csr") is csr
+        assert as_backend(delta, "csr") is delta  # subclass counts as csr
+        assert as_backend(delta, "delta") is delta
+
+    def test_as_backend_delta_wraps(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        delta = as_backend(graph, "delta")
+        assert isinstance(delta, DeltaCSRGraph)
+        assert delta.num_edges == 2
+
+    def test_estimation_on_clean_overlay_matches_base(self, karate):
+        # A clean overlay is bit-transparent: the batched kernels gather
+        # the base arrays and produce the identical estimate.
+        csr = CSRGraph.from_graph(karate)
+        delta = DeltaCSRGraph(csr)
+        assert batch_capable(delta, 2)
+        spec = MethodSpec.parse("SRW2CSS", 4)
+        on_base = run_estimation(csr, spec, 6_000, rng=random.Random(3), chains=8)
+        on_delta = run_estimation(delta, spec, 6_000, rng=random.Random(3), chains=8)
+        assert np.array_equal(on_base.concentrations, on_delta.concentrations)
+
+    def test_estimation_after_churn_matches_compacted(self):
+        # After updates, walking the overlay == walking the compacted
+        # snapshot: the merged view is the only thing the kernels see.
+        graph = barabasi_albert(150, 3, seed=4)
+        delta = DeltaCSRGraph(graph)
+        rng = random.Random(9)
+        live = set(delta.edges())
+        inserts = []
+        while len(inserts) < 10:
+            u, v = rng.randrange(150), rng.randrange(150)
+            edge = (min(u, v), max(u, v))
+            if u != v and edge not in live and edge not in inserts:
+                inserts.append(edge)
+        deletes = rng.sample(sorted(live), 10)
+        delta.apply(inserts=inserts, deletes=deletes)
+        spec = MethodSpec.parse("SRW1CSSNB", 3)
+        on_delta = run_estimation(delta, spec, 4_000, rng=random.Random(5), chains=4)
+        snapshot = delta.copy()
+        on_snap = run_estimation(snapshot, spec, 4_000, rng=random.Random(5), chains=4)
+        assert np.array_equal(on_delta.concentrations, on_snap.concentrations)
