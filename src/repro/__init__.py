@@ -37,17 +37,26 @@ from .baselines import (
     wedge_sampling,
 )
 from .core import (
+    AllOf,
+    AnyOf,
+    CIWidth,
+    Deadline,
     Estimate,
     EstimationConfig,
     Estimator,
     GraphletEstimator,
     MethodSpec,
     Session,
+    StepBudget,
+    StoppingRule,
+    TargetStderr,
+    TheoremBound,
     alpha_coefficient,
     alpha_table,
     deprecated_result_alias as _deprecated_result_alias,
     estimate_concentration,
     estimate_counts,
+    parse_target,
     recommended_method,
     run_estimation,
     run_with_checkpoints,
@@ -55,7 +64,7 @@ from .core import (
     weighted_concentration,
 )
 from . import estimators
-from .estimators import estimate
+from .estimators import SelectionReport, estimate
 from . import experiments
 from .experiments import ExperimentSpec, run_experiment
 from . import service
@@ -97,14 +106,23 @@ from .relgraph import relationship_edge_count, relationship_graph, walk_space
 __version__ = "1.0.0"
 
 __all__ = [
+    "AllOf",
+    "AnyOf",
+    "CIWidth",
     "CSRGraph",
     "ContinuousSession",
+    "Deadline",
     "DeltaCSRGraph",
     "EdgeStreamSpec",
     "Estimate",
     "EstimationConfig",
     "Estimator",
     "ExperimentSpec",
+    "SelectionReport",
+    "StepBudget",
+    "StoppingRule",
+    "TargetStderr",
+    "TheoremBound",
     "Graph",
     "GraphError",
     "Graphlet",
@@ -138,6 +156,7 @@ __all__ = [
     "nrmse",
     "nrmse_table",
     "num_graphlets",
+    "parse_target",
     "path_sampling",
     "powerlaw_cluster",
     "psrw_estimate",

@@ -7,6 +7,7 @@
     python -m repro estimate --dataset karate -k 4 --method SRW2CSS --steps 20000
     python -m repro estimate --dataset karate -k 3 --method guise --steps 20000
     python -m repro estimate --dataset karate -k 4 --backend csr --chains 16
+    python -m repro estimate --dataset karate -k 3 --method auto --target-ci 0.05
     python -m repro exact --dataset karate -k 4
     python -m repro compare --dataset karate -k 3 --steps 5000 --trials 10
     python -m repro compare --dataset karate -k 3 --methods SRW1,wedge,exact
@@ -52,6 +53,22 @@ def _resolve_graph(args) -> Graph:
         lcc, _ = largest_connected_component(graph)
         return lcc
     return load_dataset(args.dataset)
+
+
+def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target-ci", type=float, default=None, dest="target_ci",
+        metavar="WIDTH",
+        help="stop once every 95%% confidence interval is narrower than "
+        "WIDTH (needs a between-chain stderr: --chains >= 2, --fanout, "
+        "or --method auto); --steps stays the hard cap",
+    )
+    parser.add_argument(
+        "--target-stderr", type=float, default=None, dest="target_stderr",
+        metavar="SE",
+        help="stop once the largest per-type standard error drops "
+        "below SE; composes with --target-ci (either firing stops)",
+    )
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -114,6 +131,50 @@ def _print_estimate(result) -> None:
     )
 
 
+def _stopping_target(args):
+    """Compose the CLI's accuracy flags into one stopping spec.
+
+    ``--target-ci`` and ``--target-stderr`` each contribute a rule;
+    either one firing stops the run (``|`` composition), and the step
+    budget stays the hard cap.  Returns ``None`` when neither is set —
+    the plain fixed-budget run.
+    """
+    from .core import CIWidth, TargetStderr
+
+    rules = []
+    if getattr(args, "target_ci", None) is not None:
+        rules.append(CIWidth(args.target_ci))
+    if getattr(args, "target_stderr", None) is not None:
+        rules.append(TargetStderr(args.target_stderr))
+    if not rules:
+        return None
+    spec = rules[0]
+    for rule in rules[1:]:
+        spec = spec | rule
+    return spec
+
+
+def _print_stopping_note(meta) -> None:
+    """Stderr notes on auto-selection and how a stopping target ended."""
+    if not isinstance(meta, dict):
+        return
+    selection = meta.get("selection")
+    if selection:
+        print(
+            f"auto-selected {selection['method']} "
+            f"(chains={selection['chains']}, backend={selection['backend']}): "
+            f"{'; '.join(selection['reasons'])}",
+            file=sys.stderr,
+        )
+    stopping = meta.get("stopping")
+    if stopping:
+        if stopping.get("satisfied"):
+            note = f"met after {stopping['steps']} steps ({stopping.get('fired')})"
+        else:
+            note = f"not met within {stopping['steps']} steps"
+        print(f"target {stopping['target']}: {note}", file=sys.stderr)
+
+
 def cmd_estimate(args) -> int:
     graph = _resolve_graph(args)
     method = args.method or recommended_method(args.k)
@@ -127,11 +188,13 @@ def cmd_estimate(args) -> int:
             backend=args.backend,
             chains=args.chains,
             burn_in=args.burn_in,
+            target=_stopping_target(args),
         )
     except (KeyError, ValueError) as exc:
         # KeyError.__str__ is the repr of its argument; unwrap it.
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
+    _print_stopping_note(result.meta)
     _print_estimate(result)
     return 0
 
@@ -328,21 +391,34 @@ def cmd_query(args) -> int:
             fanout=args.fanout,
             snapshot_steps=args.snapshot_steps,
             timeout_seconds=args.timeout,
+            target=_stopping_target(args),
         ):
             final = snapshot
             if args.watch and not snapshot.final and snapshot.estimate is not None:
                 bound = snapshot.stderr_bound
                 bound_note = f", stderr<={bound:.2e}" if bound is not None else ""
+                stopping = snapshot.meta.get("stopping")
+                rule_note = (
+                    f", target {stopping['target']}" if stopping else ""
+                )
                 print(
                     f"  [{snapshot.seq}] {snapshot.steps}/{snapshot.budget} "
                     f"steps, {snapshot.parts_done}/{snapshot.parts} parts"
-                    f"{bound_note}",
+                    f"{bound_note}{rule_note}",
                     file=sys.stderr,
                 )
     except (RequestFailed, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     status = 0
+    if final.early_stopped:
+        print(
+            f"early stop: target met after {final.steps}/{final.budget} "
+            "steps; remaining budget released to the daemon pool",
+            file=sys.stderr,
+        )
+    if final.estimate is not None:
+        _print_stopping_note(final.estimate.meta)
     if final.timed_out:
         # The any-time contract: report the deadline, then show the last
         # snapshot's estimate anyway (when one arrived in time).
@@ -478,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(without --backend csr the chains run serially and a "
         "fallback warning is printed once)",
     )
+    _add_target_arguments(p)
     p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser("exact", help="exact concentrations (ground truth)")
@@ -604,9 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline in seconds; on expiry the last snapshot is shown "
         "and the exit code is 3",
     )
+    _add_target_arguments(p)
     p.add_argument(
         "--watch", action="store_true",
-        help="print each progressive snapshot to stderr as it arrives",
+        help="print each progressive snapshot to stderr as it arrives "
+        "(with a stopping target: live stderr bound + the active rule)",
     )
     p.add_argument("--json", action="store_true", help="emit the final estimate as JSON")
     p.add_argument("--ping", action="store_true", help="print daemon stats and exit")

@@ -19,6 +19,19 @@ from .estimator import MethodSpec, SRWSession, run_estimation
 from .joint import run_joint_estimation
 from .result import Estimate, deprecated_result_alias
 from .session import EstimationConfig, Estimator, Session
+from .stopping import (
+    AllOf,
+    AnyOf,
+    CIWidth,
+    Deadline,
+    StepBudget,
+    StopProbe,
+    StoppingRule,
+    TargetStderr,
+    TheoremBound,
+    as_stopping_spec,
+    parse_target,
+)
 from .expanded_chain import (
     enumerate_windows,
     expanded_transition_matrix,
@@ -35,10 +48,21 @@ from .framework import (
 )
 
 __all__ = [
+    "AllOf",
+    "AnyOf",
     "BoundReport",
+    "CIWidth",
+    "Deadline",
     "Estimate",
     "EstimationConfig",
     "Estimator",
+    "StepBudget",
+    "StopProbe",
+    "StoppingRule",
+    "TargetStderr",
+    "TheoremBound",
+    "as_stopping_spec",
+    "parse_target",
     "GraphletEstimator",
     "MethodSpec",
     "SRWSession",

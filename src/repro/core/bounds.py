@@ -27,6 +27,19 @@ from ..walks.mixing import mixing_time_spectral
 from .alpha import alpha_table
 
 
+def _validate_failure_budget(epsilon: float, delta: float) -> None:
+    """Reject out-of-range accuracy parameters, naming the culprit.
+
+    Both Theorem 3 and the §4.1 CSS bound need ``0 < epsilon < 1`` and
+    ``0 < delta < 1``; a non-positive value would silently produce a
+    nonsensical (negative or infinite) sample size.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+
+
 @dataclass(frozen=True)
 class BoundReport:
     """All Theorem 3 ingredients plus the resulting sample size."""
@@ -73,8 +86,7 @@ def sample_size_bound(
         Pre-computed exact counts ``C_i^k`` (else computed here — the
         expensive part for k = 5).
     """
-    if not 0 < epsilon < 1 or not 0 < delta < 1:
-        raise ValueError("epsilon and delta must lie in (0, 1)")
+    _validate_failure_budget(epsilon, delta)
     alphas = alpha_table(k, d)
     if graphlet_index < 0 or graphlet_index >= len(alphas):
         raise ValueError(f"graphlet index {graphlet_index} out of range")
@@ -135,8 +147,7 @@ def css_sample_size_bound(
     W' <= W and the CSS bound is never worse (the paper's argument for
     CSS's efficiency).  Small graphs only.
     """
-    if not 0 < epsilon < 1 or not 0 < delta < 1:
-        raise ValueError("epsilon and delta must lie in (0, 1)")
+    _validate_failure_budget(epsilon, delta)
     from ..exact.enumerate import enumerate_connected_subgraphs
     from ..graphlets.catalog import induced_bitmask
     from .css import sampling_weight

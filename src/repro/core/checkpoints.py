@@ -62,8 +62,8 @@ def checkpoint_session(
     from .session import EstimationConfig
 
     config = EstimationConfig(
-        method=str(method), k=k, budget=budget, seed=seed, seed_node=seed_node,
-        burn_in=burn_in, chains=chains,
+        method=str(method), k=k, target=int(budget), seed=seed,
+        seed_node=seed_node, burn_in=burn_in, chains=chains,
     )
     return get_estimator(method).prepare(graph, config)
 

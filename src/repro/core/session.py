@@ -20,11 +20,22 @@ new method is one ``register()`` call away from every harness.
 from __future__ import annotations
 
 import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
 
 from .result import Estimate
+from .stopping import (
+    DEFAULT_STEP_CAP,
+    StepBudget,
+    StopProbe,
+    StoppingRule,
+    as_stopping_spec,
+)
+
+#: Step budget used when neither ``target`` nor ``budget`` is given.
+DEFAULT_BUDGET = 20_000
 
 
 @dataclass
@@ -34,14 +45,24 @@ class EstimationConfig:
     Parameters
     ----------
     method:
-        Registry name (``"srw2css"``, ``"guise"``, ``"exact"``, …) or any
-        paper-grammar ``SRW{d}[CSS][NB]`` string.
+        Registry name (``"srw2css"``, ``"guise"``, ``"exact"``, …), any
+        paper-grammar ``SRW{d}[CSS][NB]`` string, or ``"auto"`` to let
+        :mod:`repro.estimators.selector` pick.
     k:
         Graphlet size; ``None`` lets the estimator pick its default
         (3 for the triadic baselines, 4 for 3-path sampling, …).
+    target:
+        Declarative stopping spec — a
+        :class:`~repro.core.stopping.StoppingRule`, an int step budget,
+        or a :func:`~repro.core.stopping.parse_target` string.  After
+        construction this attribute is always a normalized rule, and
+        ``budget`` holds its step cap.
     budget:
-        Total budget units: walk transitions, MH proposals, or i.i.d.
-        sample draws, depending on the method.
+        Legacy raw step cap.  Passing ``budget=N`` *without* a target is
+        deprecated (it becomes ``target=StepBudget(N)`` and warns);
+        alongside an open-ended dynamic target it silently provides the
+        step cap.  When neither is given the default is
+        ``StepBudget(20_000)``.
     seed:
         RNG seed (``None`` for nondeterministic).
     seed_node:
@@ -59,17 +80,50 @@ class EstimationConfig:
 
     method: str
     k: Optional[int] = None
-    budget: int = 20_000
+    budget: Optional[int] = None
     seed: Optional[int] = None
     seed_node: int = 0
     backend: Optional[str] = None
     chains: int = 1
     burn_in: int = 0
     options: Dict[str, Any] = field(default_factory=dict)
+    target: Union[StoppingRule, int, str, None] = None
 
     def __post_init__(self) -> None:
-        if self.budget <= 0:
-            raise ValueError(f"budget must be positive, got {self.budget}")
+        spec = None if self.target is None else as_stopping_spec(self.target)
+        if self.budget is not None:
+            budget = int(self.budget)
+            if budget <= 0:
+                raise ValueError(f"budget must be positive, got {budget}")
+            if spec is None:
+                warnings.warn(
+                    "EstimationConfig(budget=N) without a target is "
+                    "deprecated; pass target=StepBudget(N) (or any "
+                    "stopping spec) instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                spec = StepBudget(budget)
+                cap = budget
+            else:
+                cap = spec.step_cap()
+                if cap is None:
+                    # The spec is open-ended; budget provides its cap.
+                    cap = budget
+                elif cap != budget:
+                    raise ValueError(
+                        f"budget={budget} conflicts with the target's step "
+                        f"cap {cap} ({spec.describe()!r}); drop budget= or "
+                        "make them agree"
+                    )
+        else:
+            if spec is None:
+                spec = StepBudget(DEFAULT_BUDGET)
+            cap = spec.step_cap()
+            if cap is None:
+                cap = max(DEFAULT_STEP_CAP, spec._step_floor())
+        self.target = spec
+        self.budget = int(cap)
         if self.chains < 1:
             raise ValueError(f"chains must be >= 1, got {self.chains}")
         if self.burn_in < 0:
@@ -147,6 +201,66 @@ class Session(ABC):
         """Consume the remaining budget and return the final estimate."""
         self.step()
         return self.snapshot()
+
+    def run(
+        self,
+        target: Union[StoppingRule, int, str, None] = None,
+        *,
+        check_every: Optional[int] = None,
+    ) -> Estimate:
+        """Run until ``target`` is satisfied or the budget is exhausted.
+
+        Without a target (or with a pure step-budget spec) this is
+        exactly :meth:`result` — the legacy single-``step`` path, so
+        fixed-seed runs stay bit-identical to the pre-spec API.  Dynamic
+        specs are checked every ``check_every`` steps (default: 1/16 of
+        the budget) against a fresh :meth:`snapshot`; the returned
+        estimate's ``meta["stopping"]`` records the spec, the rule that
+        fired (if any), and the steps actually spent.
+        """
+        spec = None if target is None else as_stopping_spec(target)
+        if spec is None or not spec.dynamic:
+            return self.result()
+        if check_every is None:
+            cadence = max(1, self._budget // 16)
+        else:
+            cadence = int(check_every)
+            if cadence <= 0:
+                raise ValueError(f"check_every must be positive, got {cadence}")
+        checks = 0
+        fired = None
+        estimate = None
+        while not self.done:
+            self.step(min(cadence, self.remaining))
+            checks += 1
+            estimate = self.snapshot()
+            probe = StopProbe(
+                estimate=estimate,
+                steps=self._consumed,
+                budget=self._budget,
+                elapsed=self._elapsed,
+            )
+            fired = spec.firing(probe)
+            if fired is not None:
+                break
+        if estimate is None:
+            estimate = self.snapshot()
+            probe = StopProbe(
+                estimate=estimate,
+                steps=self._consumed,
+                budget=self._budget,
+                elapsed=self._elapsed,
+            )
+            fired = spec.firing(probe)
+        estimate.meta["stopping"] = {
+            "target": spec.describe(),
+            "fired": None if fired is None else fired.describe(),
+            "satisfied": fired is not None,
+            "early": self.remaining > 0,
+            "steps": self._consumed,
+            "checks": checks,
+        }
+        return estimate
 
     @abstractmethod
     def _advance(self, n: int) -> None:

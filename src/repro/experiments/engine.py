@@ -36,7 +36,8 @@ import numpy as np
 
 from ..core.result import Estimate
 from ..core.session import EstimationConfig
-from ..estimators import prepare
+from ..core.stopping import parse_target
+from ..estimators import run_config
 from ..exact import exact_concentrations_cached
 from ..graphlets.catalog import graphlet_by_name, graphlets
 from ..graphs.csr import CSRGraph, as_backend
@@ -63,21 +64,34 @@ class TrialTask:
     seed_node: int
     chains: int = 1
     backend: Optional[str] = None
+    stopping: Optional[str] = None
 
 
 def execute_task(graph: Graph, task: TrialTask) -> dict:
-    """Run one trial to completion; return its JSON-safe row."""
+    """Run one trial to completion; return its JSON-safe row.
+
+    ``task.stopping`` (a :func:`repro.parse_target` string) makes the
+    trial variance-aware: the rule is checked on the run cadence with
+    ``task.budget`` as the hard cap.  Without it the trial spends the
+    budget exactly as before — same steps, same row, bit-identical to
+    every recorded trajectory artifact.
+    """
     config = EstimationConfig(
         method=task.method,
         k=task.k,
-        budget=task.budget,
+        budget=task.budget if task.stopping is not None else None,
         seed=task.seed,
         seed_node=task.seed_node,
         chains=task.chains,
         backend=task.backend,
+        target=(
+            parse_target(task.stopping)
+            if task.stopping is not None
+            else task.budget
+        ),
     )
-    estimate = prepare(graph, config).result()
-    return {
+    estimate = run_config(graph, config)
+    row = {
         "index": task.index,
         "trial": task.trial,
         "method": task.method,
@@ -89,6 +103,11 @@ def execute_task(graph: Graph, task: TrialTask) -> dict:
         "backend": task.backend,
         "estimate": estimate.to_dict(),
     }
+    # Joined the row schema later; keyed only when used so pre-existing
+    # trajectory artifacts keep their canonical lines.
+    if task.stopping is not None:
+        row["stopping"] = task.stopping
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +272,7 @@ def build_tasks(spec: ExperimentSpec, graph: Graph) -> List[TrialTask]:
                     seed_node=starts[t],
                     chains=spec.chains,
                     backend=spec.backend,
+                    stopping=spec.stopping,
                 )
             )
     return tasks
@@ -402,7 +422,12 @@ class ExperimentResult:
             stats["mean_elapsed_seconds"] * stats["trials"]
             for stats in methods.values()
         )
-        total_steps = self.spec.budget * len(self.rows)
+        # Actual steps spent (== budget * trials when no trial stops early).
+        total_steps = sum(
+            e.steps
+            for method in self.spec.methods
+            for e in self.method_estimates(method)
+        )
         return {
             "name": self.spec.name,
             "spec": self.spec.to_dict(),

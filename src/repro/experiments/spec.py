@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core.stopping import parse_target
 from ..graphs.csr import BACKENDS
 from ..graphs.datasets import list_datasets, load_dataset
 from ..graphs.generators import barabasi_albert
@@ -168,6 +169,12 @@ class ExperimentSpec:
         Storage backend each trial converts the graph to before running
         (``"csr"`` unlocks the vectorized multi-chain kernels; ``None``
         keeps the graph as resolved).
+    stopping:
+        Optional :func:`repro.parse_target` spec string (e.g.
+        ``"stderr:0.02"`` or ``"ci:0.1|steps:50000"``) each trial
+        evaluates on the :meth:`~repro.core.session.Session.run`
+        cadence; ``budget`` stays the hard step cap.  ``None`` (the
+        default) keeps the historical fixed-budget trials bit-identical.
     """
 
     name: str
@@ -183,6 +190,7 @@ class ExperimentSpec:
     description: str = ""
     chains: int = 1
     backend: Optional[str] = None
+    stopping: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "methods", tuple(self.methods))
@@ -230,6 +238,15 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        if self.stopping is not None:
+            spec = parse_target(self.stopping)  # raises on malformed specs
+            cap = spec.step_cap()
+            if cap is not None and cap != self.budget:
+                raise ValueError(
+                    f"stopping spec {self.stopping!r} caps steps at {cap} "
+                    f"but budget={self.budget}; drop the steps clause or "
+                    "make them agree"
+                )
 
     # ------------------------------------------------------------------
     # Derived per-trial parameters
@@ -284,5 +301,7 @@ class ExperimentSpec:
             payload["chains"] = self.chains
         if self.backend is not None:
             payload["backend"] = self.backend
+        if self.stopping is not None:
+            payload["stopping"] = self.stopping
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]

@@ -28,6 +28,12 @@ graph is a BA graph churned through a seeded
 source grammar), so the delta overlay's compaction path sits inside the
 parallel/serial bit-identity check — and the refresh benchmark
 (``benchmarks/bench_stream_refresh.py``) reuses the same workload shape.
+
+``autotune-smoke`` exercises the self-tuning surface end to end: two
+generated graphs route ``method="auto"`` through both selector branches
+(walk with a ``stopping="stderr:0.05"`` early-stop target, and the
+exact-enumeration short-circuit), inside the same parallel/serial
+bit-identity gate as the other smoke suites.
 """
 
 from __future__ import annotations
@@ -125,6 +131,50 @@ def _stream_smoke() -> Tuple[ExperimentSpec, ...]:
             description=(
                 "dynamic-graph trajectory suite: BA(400, 3) churned through "
                 "6 seeded batches of 12 inserts + 12 deletes, compacted"
+            ),
+        ),
+    )
+
+
+def _autotune_smoke() -> Tuple[ExperimentSpec, ...]:
+    return (
+        # Walk branch of the auto-selector: the graph is past the exact
+        # ceiling, the stopping rule needs a stderr, so every trial
+        # resolves to the recommended walk method with promoted chains
+        # on the CSR backend — and stops early once stderr:0.05 fires.
+        ExperimentSpec(
+            name="autotune-walk",
+            graph="ba:240:3:2",
+            k=3,
+            methods=("auto",),
+            budget=20_000,
+            trials=4,
+            base_seed=31,
+            seed_strategy="spawn",
+            starts="random",
+            target="triangle",
+            stopping="stderr:0.05",
+            description=(
+                "auto-selector walk branch: method=auto resolves to the "
+                "recommended walk estimator, stderr:0.05 stops trials early"
+            ),
+        ),
+        # Exact branch: the graph is small enough to enumerate, so the
+        # selector short-circuits every trial to the oracle.
+        ExperimentSpec(
+            name="autotune-exact",
+            graph="ba:100:3:9",
+            k=3,
+            methods=("auto",),
+            budget=2_000,
+            trials=2,
+            base_seed=37,
+            seed_strategy="spawn",
+            starts="random",
+            target="triangle",
+            description=(
+                "auto-selector exact branch: the graph sits under the "
+                "enumeration ceiling, so method=auto picks the oracle"
             ),
         ),
     )
@@ -284,6 +334,7 @@ def _fig8() -> Tuple[ExperimentSpec, ...]:
 _SUITES = {
     "smoke": _smoke,
     "stream-smoke": _stream_smoke,
+    "autotune-smoke": _autotune_smoke,
     "css-speedup": _css_speedup,
     "srw3-speedup": _srw3_speedup,
     "fig4": _fig4,

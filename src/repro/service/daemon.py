@@ -34,9 +34,16 @@ counter (stale frames from the dead incarnation are dropped — execution
 stays at-most-once per chain seed, so results remain deterministic), and
 a replacement worker is spawned.  Requests carry optional deadlines
 (the final snapshot is the last progressive answer, flagged
-``timed_out``) and an optional ``target_stderr`` early stop.  Admission
-is bounded: at most ``max_pending`` requests are in the system, further
-``submit`` calls block (or raise :class:`ServiceOverloaded`).
+``timed_out``) and an optional declarative stopping ``target``
+(:mod:`repro.core.stopping`), evaluated on every progressive snapshot;
+``method="auto"`` resolves through :mod:`repro.estimators.selector`
+before parts are built.  A request that early-stops *releases* its
+unused budget into a pool; a request that finishes its budget with its
+dynamic target still unmet draws replacement budget from that pool as
+extra single-chain parts (scheduler-side reallocation — the freed steps
+go to whoever is still converging).  Admission is bounded: at most
+``max_pending`` requests are in the system, further ``submit`` calls
+block (or raise :class:`ServiceOverloaded`).
 
 Shutdown unlinks the shared segment; an ``atexit`` hook (plus the
 resource tracker's owner registration) keeps even a crashed daemon from
@@ -78,7 +85,9 @@ import numpy as np
 
 from ..core.estimator import _between_chain_stderr, split_budget
 from ..core.result import Estimate
-from ..estimators import get as get_estimator, normalize
+from ..core.session import EstimationConfig
+from ..core.stopping import StopProbe
+from ..estimators import get as get_estimator, normalize, select
 from ..experiments.spec import CHAINLESS_METHODS, resolve_graph
 from ..graphs.csr import CSRGraph
 from ..graphs.shared import SharedCSRGraph
@@ -139,6 +148,7 @@ class _RequestState:
     __slots__ = (
         "id", "request", "parts", "snapshots", "done", "final_snapshot",
         "seq", "deadline", "finished", "requeues",
+        "selection", "fired", "extra_parts", "extra_steps", "started",
     )
 
     def __init__(self, request_id: str, request: EstimateRequest, parts):
@@ -156,6 +166,11 @@ class _RequestState:
         )
         self.finished = False
         self.requeues = 0
+        self.selection = None      # SelectionReport when method was "auto"
+        self.fired = None          # the stopping rule that ended the run
+        self.extra_parts = 0       # reallocation extensions appended
+        self.extra_steps = 0       # budget granted beyond request.budget
+        self.started = time.monotonic()
 
 
 class RequestHandle:
@@ -266,6 +281,10 @@ class Daemon:
         self._stop = threading.Event()
         self._started = False
         self._closed = False
+        # Budget reallocation pool: steps released by early-stopping
+        # requests, granted to still-converging ones (collector thread).
+        self._released_budget = 0
+        self._reallocated_budget = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -330,6 +349,8 @@ class Daemon:
                 "active_requests": len(active),
                 "queued_parts": len(self._pending),
                 "requeues": sum(s.requeues for s in self._requests.values()),
+                "released_budget": self._released_budget,
+                "reallocated_budget": self._reallocated_budget,
                 "num_nodes": self._csr.num_nodes,
                 "num_edges": self._csr.num_edges,
                 "graph_version": int(getattr(self._csr, "version", 0)),
@@ -472,6 +493,27 @@ class Daemon:
             raise ServiceClosed("daemon is closed")
         if not self._started:
             self.start()
+        selection = None
+        if normalize(request.method) == "auto":
+            selection = select(
+                self._csr,
+                EstimationConfig(
+                    method="auto",
+                    k=request.k,
+                    budget=request.budget,
+                    target=(
+                        request.target
+                        if request.target is not None
+                        else request.budget
+                    ),
+                    chains=request.chains,
+                ),
+            )
+            request = request.with_overrides(
+                method=selection.method,
+                k=selection.k,
+                chains=selection.chains,
+            )
         get_estimator(request.method)  # unknown methods fail fast, pre-queue
         if (
             request.fanout
@@ -490,6 +532,7 @@ class Daemon:
             )
         request_id = f"r{next(self._request_ids)}"
         state = _RequestState(request_id, request, self._build_parts(request))
+        state.selection = selection
         with self._lock:
             self._requests[request_id] = state
             for index in range(len(state.parts)):
@@ -518,7 +561,7 @@ class Daemon:
         if not request.fanout or request.chains == 1:
             config = dict(
                 base,
-                budget=request.budget,
+                target=request.budget,
                 seed=request.seed,
                 chains=request.chains,
             )
@@ -530,7 +573,7 @@ class Daemon:
             _Part(
                 dict(
                     base,
-                    budget=budgets[index],
+                    target=budgets[index],
                     seed=rng.randrange(2**63),
                     chains=1,
                 )
@@ -597,7 +640,10 @@ class Daemon:
             part.latest = frame[5]
             part.steps = frame[5].steps
             if all(p.final is not None for p in state.parts):
-                self._finalize(state)
+                if self._maybe_extend(state):
+                    self._emit_progress(state)
+                else:
+                    self._finalize(state)
             else:
                 self._emit_progress(state)
         elif kind == "error":
@@ -690,9 +736,14 @@ class Daemon:
         chains_done = len(frames)
         first = frames[0]
         meta = dict(first.meta)
-        meta["chains"] = state.request.chains if chains_done == len(
-            state.parts
-        ) else chains_done
+        if state.extra_parts:
+            # Reallocation extensions are extra single-chain parts; the
+            # pooled chain count is simply how many frames contributed.
+            meta["chains"] = chains_done
+        else:
+            meta["chains"] = state.request.chains if chains_done == len(
+                state.parts
+            ) else chains_done
         return Estimate(
             method=first.method,
             k=first.k,
@@ -707,27 +758,111 @@ class Daemon:
 
     def _make_snapshot(self, state: _RequestState, **flags) -> Snapshot:
         estimate = self._pool(state)
+        if estimate is not None and state.selection is not None:
+            estimate.meta["selection"] = state.selection.to_dict()
         state.seq += 1
-        return Snapshot(
+        snapshot = Snapshot(
             request_id=state.id,
             seq=state.seq,
             steps=0 if estimate is None else int(estimate.steps),
-            budget=state.request.budget,
+            budget=state.request.budget + state.extra_steps,
             estimate=estimate,
             parts=len(state.parts),
             parts_done=sum(1 for p in state.parts if p.final is not None),
             **flags,
         )
+        spec = state.request.target
+        if spec is not None:
+            # Live observability: repro query --watch prints the active
+            # rule (and the stderr it is chasing) per snapshot line.
+            snapshot.meta["stopping"] = {
+                "target": spec.describe(),
+                "dynamic": spec.dynamic,
+            }
+        return snapshot
+
+    def _probe(self, state: _RequestState, snapshot: Snapshot) -> StopProbe:
+        return StopProbe(
+            estimate=snapshot.estimate,
+            steps=snapshot.steps,
+            budget=snapshot.budget,
+            elapsed=time.monotonic() - state.started,
+        )
 
     def _emit_progress(self, state: _RequestState) -> None:
         snapshot = self._make_snapshot(state)
-        target = state.request.target_stderr
-        if target is not None and state.request.chains >= 2:
-            bound = snapshot.stderr_bound
-            if bound is not None and bound <= target:
+        spec = state.request.target
+        if (
+            spec is not None
+            and spec.dynamic
+            and snapshot.estimate is not None
+        ):
+            fired = spec.firing(self._probe(state, snapshot))
+            if fired is not None and fired.dynamic:
+                state.fired = fired
                 self._finalize(state, early=True, progress_snapshot=snapshot)
                 return
         state.snapshots.put(snapshot)
+
+    def _maybe_extend(self, state: _RequestState) -> bool:
+        """Grant released budget to a still-converging request.
+
+        Called when every part is final but before finalization: if the
+        request carries an *unsatisfied* dynamic target and the pool
+        holds budget released by early-stopped peers, append one more
+        single-chain part funded from the pool (capped at 3x the
+        original budget in extra steps).  Only layouts whose parts pool as
+        equal chains are eligible — fanout requests, or single-chain
+        requests (where the extension also buys the between-chain
+        stderr the target needs).
+        """
+        request = state.request
+        spec = request.target
+        if spec is None or not spec.dynamic:
+            return False
+        if self._released_budget <= 0:
+            return False
+        if state.extra_steps >= 3 * request.budget:
+            return False
+        if normalize(request.method) in CHAINLESS_METHODS:
+            return False
+        if not request.fanout and request.chains != 1:
+            return False
+        pooled = self._pool(state)
+        if pooled is None:
+            return False
+        probe = StopProbe(
+            estimate=pooled,
+            steps=int(pooled.steps),
+            budget=request.budget + state.extra_steps,
+            elapsed=time.monotonic() - state.started,
+        )
+        if spec.satisfied(probe):
+            return False
+        grant = min(self._released_budget, request.budget)
+        if grant < 1:
+            return False
+        self._released_budget -= grant
+        self._reallocated_budget += grant
+        state.extra_steps += grant
+        index = len(state.parts)
+        # Extension seeds are a pure function of (request seed, part
+        # index), so a rerun of the same traffic extends identically.
+        seed = random.Random(f"extend:{request.seed}:{index}").randrange(2**63)
+        config = dict(
+            method=request.method,
+            k=request.k,
+            seed_node=request.seed_node,
+            burn_in=request.burn_in,
+            backend=None,
+            target=int(grant),
+            seed=seed,
+            chains=1,
+        )
+        state.parts.append(_Part(config))
+        state.extra_parts += 1
+        self._pending.append((state.id, index))
+        return True
 
     def _finalize(
         self,
@@ -750,6 +885,30 @@ class Daemon:
                 state, final=True, timed_out=timed_out, early_stopped=early
             )
             snapshot.error = error
+        spec = state.request.target
+        if snapshot.early_stopped:
+            # An early stop abandons the rest of its budget; bank it for
+            # still-converging requests (see _maybe_extend).
+            released = max(0, snapshot.budget - snapshot.steps)
+            self._released_budget += released
+        if (
+            spec is not None
+            and spec.dynamic
+            and snapshot.estimate is not None
+            and error is None
+        ):
+            fired = state.fired
+            if fired is None:
+                fired = spec.firing(self._probe(state, snapshot))
+                state.fired = fired
+            snapshot.estimate.meta["stopping"] = {
+                "target": spec.describe(),
+                "fired": None if fired is None else fired.describe(),
+                "satisfied": fired is not None,
+                "early": snapshot.early_stopped,
+                "steps": int(snapshot.steps),
+                "extra_steps": int(state.extra_steps),
+            }
         state.final_snapshot = snapshot
         state.snapshots.put(snapshot)
         state.done.set()

@@ -11,9 +11,10 @@ protocol and the client facade all ship them verbatim, so a snapshot's
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.result import Estimate
+from ..core.stopping import StoppingRule, TargetStderr, as_stopping_spec
 
 #: Default number of progressive snapshots per request when the caller
 #: does not pin ``snapshot_steps`` explicitly.
@@ -74,11 +75,21 @@ class EstimateRequest:
     timeout_seconds:
         Deadline; on expiry the caller receives the last snapshot
         marked ``timed_out`` instead of hanging.
+    target:
+        Declarative stopping spec — a
+        :class:`~repro.core.stopping.StoppingRule`, an int step budget,
+        or a :func:`~repro.core.stopping.parse_target` string.  Dynamic
+        rules are evaluated daemon-side on every progressive snapshot;
+        when one fires the daemon finalizes with the snapshot that met
+        it, cancels the remaining budget, and *releases* it to the
+        reallocation pool for still-converging requests.  A spec with a
+        step cap overrides ``budget``; an open-ended spec keeps
+        ``budget`` as its cap.
     target_stderr:
-        Optional early-stop: once every finite per-type standard error
-        drops to this level, the daemon finalizes with the snapshot
-        that met it and cancels the remaining budget (needs
-        ``chains >= 2`` — single chains carry no stderr).
+        Thin alias for ``target=TargetStderr(value)`` (kept for
+        compatibility); folded into the unified spec at construction.
+        Firing needs a between-chain stderr, i.e. ``chains >= 2`` or a
+        pooled fanout — single chains carry none.
     """
 
     method: str
@@ -92,8 +103,20 @@ class EstimateRequest:
     snapshot_steps: Optional[int] = None
     timeout_seconds: Optional[float] = None
     target_stderr: Optional[float] = None
+    target: Union[StoppingRule, int, str, None] = None
 
     def __post_init__(self) -> None:
+        if self.target_stderr is not None and self.target_stderr <= 0:
+            raise ValueError("target_stderr must be positive when given")
+        spec = None if self.target is None else as_stopping_spec(self.target)
+        if self.target_stderr is not None:
+            alias = TargetStderr(float(self.target_stderr))
+            spec = alias if spec is None else (spec | alias)
+        if spec is not None:
+            cap = spec.step_cap()
+            if cap is not None:
+                object.__setattr__(self, "budget", int(cap))
+            object.__setattr__(self, "target", spec)
         if self.budget <= 0:
             raise ValueError(f"budget must be positive, got {self.budget}")
         if self.chains < 1:
@@ -108,8 +131,6 @@ class EstimateRequest:
             raise ValueError("snapshot_steps must be positive when given")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive when given")
-        if self.target_stderr is not None and self.target_stderr <= 0:
-            raise ValueError("target_stderr must be positive when given")
 
     def effective_snapshot_steps(self) -> int:
         """Steps per progressive snapshot after defaulting."""
@@ -133,8 +154,10 @@ class Snapshot:
     parts) strictly increases between progressive frames of a healthy
     run.  Exactly one frame per request has ``final=True``; it may
     additionally be flagged ``timed_out`` (deadline hit — ``estimate``
-    is the last progressive answer), ``early_stopped`` (``target_stderr``
-    reached below budget), or carry ``error`` text.
+    is the last progressive answer), ``early_stopped`` (the stopping
+    ``target`` fired below budget), or carry ``error`` text.  When the
+    request carries a ``target`` spec, ``meta["stopping"]`` names it on
+    every frame (``repro query --watch`` prints it per line).
     """
 
     request_id: str

@@ -44,6 +44,7 @@ from ..core.estimator import (
 )
 from ..core.result import Estimate
 from ..core.session import Session
+from ..core.stopping import StopProbe, as_stopping_spec
 from ..graphs.delta import DeltaCSRGraph
 from ..relgraph.spaces import WalkSpaceError, walk_space
 from ..walks.batched import BatchedWalkEngine
@@ -204,23 +205,65 @@ class ContinuousSession(Session):
     # ------------------------------------------------------------------
     # The continuous surface
     # ------------------------------------------------------------------
-    def refresh(self, steps: Optional[int] = None) -> Estimate:
+    def refresh(self, steps: Optional[int] = None, *, target=None) -> Estimate:
         """Advance ``steps`` (default ``refresh_budget``) transitions and
         return the refreshed pooled estimate.
 
         The session budget is open-ended: each refresh tops it up, so a
-        monitoring loop can call this forever.
+        monitoring loop can call this forever.  With a ``target``
+        stopping spec (:mod:`repro.core.stopping`) the refresh repeats
+        ``steps``-sized epochs until a dynamic rule fires or the spec's
+        step cap is spent (rounded up to whole epochs; open-ended specs
+        default to 8 epochs per refresh), and the returned snapshot's
+        ``meta["stopping"]`` records what happened — so each refresh
+        spends only as much walking as its accuracy target needs.
         """
         want = self.refresh_budget if steps is None else int(steps)
         if want < self._chains:
             raise ValueError(
                 f"refresh must cover every chain: steps={want} < chains={self._chains}"
             )
-        if self.remaining < want:
-            self._extend_budget(want - self.remaining)
-        self.step(want)
+        spec = None if target is None else as_stopping_spec(target)
+        if spec is None or not spec.dynamic:
+            cap = want if spec is None else max(want, spec.step_cap() or want)
+            if self.remaining < cap:
+                self._extend_budget(cap - self.remaining)
+            self.step(cap)
+            self._refreshes += 1
+            return self.snapshot()
+        cap = spec.step_cap()
+        if cap is None:
+            cap = want * 8
+        spent = 0
+        checks = 0
+        fired = None
+        epoch_start = self._elapsed
+        while True:
+            if self.remaining < want:
+                self._extend_budget(want - self.remaining)
+            self.step(want)
+            spent += want
+            checks += 1
+            snapshot = self.snapshot()
+            probe = StopProbe(
+                estimate=snapshot,
+                steps=spent,
+                budget=cap,
+                elapsed=self._elapsed - epoch_start,
+            )
+            fired = spec.firing(probe)
+            if fired is not None or spent >= cap:
+                break
         self._refreshes += 1
-        return self.snapshot()
+        snapshot.meta["stopping"] = {
+            "target": spec.describe(),
+            "fired": None if fired is None else fired.describe(),
+            "satisfied": fired is not None,
+            "early": spent < cap,
+            "steps": spent,
+            "checks": checks,
+        }
+        return snapshot
 
     def apply_updates(
         self, inserts: Iterable[Edge] = (), deletes: Iterable[Edge] = ()

@@ -1,0 +1,138 @@
+"""``method="auto"`` selection (ISSUE 8 tentpole).
+
+The selector is a pure function of cheap graph statistics and the
+config, so every branch is pinned directly: the exact-enumeration
+short-circuit, the §6.2 walk recommendation, chain/backend promotion,
+and the caller-pinned overrides.  The report itself must round-trip
+into ``Estimate.meta["selection"]`` unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import estimate
+from repro.core import EstimationConfig, TargetStderr, recommended_method
+from repro.estimators import SelectionReport, select
+from repro.estimators.selector import (
+    AUTO_CHAINS,
+    EXACT_NODE_CEILING,
+    LARGE_GRAPH_EDGES,
+    MIN_BUDGET_FOR_CHAINS,
+)
+from repro.graphs import barabasi_albert
+
+
+@pytest.fixture(scope="module")
+def medium():
+    """Past the k=3 exact ceiling, below the large-graph edge count."""
+    return barabasi_albert(240, 3, seed=2)
+
+
+def _config(**kwargs) -> EstimationConfig:
+    kwargs.setdefault("method", "auto")
+    return EstimationConfig(**kwargs)
+
+
+class TestExactBranch:
+    def test_small_graph_short_circuits_to_exact(self, karate):
+        report = select(karate, _config(k=3, target=2_000))
+        assert report.method == "exact"
+        assert report.chains == 1
+        assert report.num_nodes == karate.num_nodes
+        assert any("exact enumeration" in reason for reason in report.reasons)
+
+    def test_ceiling_tightens_with_k(self, karate):
+        assert EXACT_NODE_CEILING[3] > EXACT_NODE_CEILING[4] > EXACT_NODE_CEILING[5]
+        # 34 nodes clears every ceiling, so karate is exact at k=5 too.
+        assert select(karate, _config(k=5, target=2_000)).method == "exact"
+
+    def test_pinned_chains_disable_the_exact_branch(self, karate):
+        report = select(karate, _config(k=3, chains=4, target=4_000))
+        assert report.method == recommended_method(3)
+        assert report.chains == 4
+        assert any("pinned by the caller" in r for r in report.reasons)
+
+    def test_k_defaults_to_3(self, karate):
+        report = select(karate, _config(target=2_000))
+        assert report.k == 3
+
+
+class TestWalkBranch:
+    def test_medium_graph_uses_the_paper_recommendation(self, medium):
+        report = select(medium, _config(k=3, target=20_000))
+        assert report.method == recommended_method(3)
+        # No stderr-needing target, few edges: stays single-chain.
+        assert report.chains == 1
+        assert report.backend is None
+
+    def test_stderr_target_promotes_chains_and_csr(self, medium):
+        report = select(
+            medium, _config(k=3, budget=20_000, target=TargetStderr(0.05))
+        )
+        assert report.chains == AUTO_CHAINS
+        assert report.backend == "csr"
+        assert any("between-chain stderr" in r for r in report.reasons)
+
+    def test_tiny_budget_stays_single_chain(self, medium):
+        report = select(
+            medium,
+            _config(
+                k=3,
+                budget=MIN_BUDGET_FOR_CHAINS - 1,
+                target=TargetStderr(0.05),
+            ),
+        )
+        assert report.chains == 1
+
+    def test_large_graph_promotes_chains_without_a_target(self):
+        big = barabasi_albert(4_000, 6, seed=3)
+        assert big.num_edges >= LARGE_GRAPH_EDGES
+        report = select(big, _config(k=4, target=40_000))
+        assert report.method == recommended_method(4)
+        assert report.chains == AUTO_CHAINS
+        assert report.backend == "csr"
+
+    def test_explicit_backend_is_kept(self, medium):
+        report = select(medium, _config(k=3, backend="list", target=20_000))
+        assert report.backend == "list"
+
+
+class TestReport:
+    def test_selection_is_deterministic(self, medium):
+        config = _config(k=3, budget=20_000, target=TargetStderr(0.05))
+        assert select(medium, config) == select(medium, config)
+
+    def test_apply_folds_the_decision_into_the_config(self, medium):
+        config = _config(k=3, budget=20_000, target=TargetStderr(0.05))
+        resolved = select(medium, config).apply(config)
+        assert resolved.method == recommended_method(3)
+        assert resolved.chains == AUTO_CHAINS
+        assert resolved.backend == "csr"
+        assert resolved.target == config.target  # spec rides along
+
+    def test_to_dict_and_describe(self, karate):
+        report = select(karate, _config(k=3, target=2_000))
+        data = report.to_dict()
+        assert data["method"] == "exact"
+        assert data["reasons"] == list(report.reasons)
+        assert SelectionReport(**{**data, "reasons": tuple(data["reasons"])}) == report
+        assert "auto -> exact" in report.describe()
+
+    def test_estimate_records_the_selection(self, medium):
+        result = estimate(
+            medium, "auto", budget=20_000, seed=7, target=TargetStderr(0.05)
+        )
+        selection = result.meta["selection"]
+        assert selection == select(
+            medium,
+            _config(k=None, budget=20_000, target=TargetStderr(0.05), seed=7),
+        ).to_dict()
+        assert result.method == selection["method"]
+        assert result.chains == selection["chains"]
+
+    def test_exact_answer_matches_the_oracle(self, karate):
+        auto = estimate(karate, "auto", k=3, budget=2_000, seed=1)
+        oracle = estimate(karate, "exact", k=3, budget=2_000, seed=1)
+        assert auto.method == "exact"
+        assert (auto.concentrations == oracle.concentrations).all()

@@ -30,6 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro import estimate as in_process_estimate
+from repro.core import TargetStderr
 from repro.graphs import CSRGraph, barabasi_albert
 from repro.graphs.shared import SEGMENT_PREFIX
 from repro.service import (
@@ -207,6 +208,89 @@ class TestSnapshots:
 
 
 # ----------------------------------------------------------------------
+# Self-tuning: stopping targets, auto-selection, budget reallocation
+# ----------------------------------------------------------------------
+class TestSelfTuning:
+    def test_target_spec_unifies_with_the_stderr_alias(self):
+        alias = EstimateRequest("srw1", k=3, budget=4000, target_stderr=0.02)
+        assert alias.target == TargetStderr(0.02)
+        spec = EstimateRequest("srw1", k=3, budget=4000, target=TargetStderr(0.02))
+        assert spec.target == alias.target
+        # A step-capped spec overrides the raw budget.
+        capped = EstimateRequest("srw1", k=3, budget=9999, target="steps:4000")
+        assert capped.budget == 4000
+
+    def test_auto_method_resolves_with_selection_meta(self, daemon):
+        handle = daemon.submit(EstimateRequest("auto", k=3, budget=6000, seed=3))
+        result = handle.result(timeout=120)
+        selection = result.meta["selection"]
+        assert result.method == selection["method"] != "auto"
+        assert selection["num_nodes"] == 300
+
+    def test_snapshots_carry_the_active_stopping_rule(self, daemon):
+        handle = daemon.submit(
+            EstimateRequest(
+                "srw2css", k=4, budget=4000, chains=2, seed=9,
+                snapshot_steps=1000, target=TargetStderr(1e-9),
+            )
+        )
+        frames = list(handle.snapshots(timeout=120))
+        assert frames, "no snapshots arrived"
+        for frame in frames:
+            stopping = frame.meta["stopping"]
+            assert stopping["target"] == "stderr:1e-09"
+            assert stopping["dynamic"]
+
+    def test_released_budget_is_reallocated_to_converging_requests(self, csr):
+        """An early-stopped request funds a still-converging one.
+
+        Serialized on one worker for determinism: request A early-stops
+        well under budget and releases the remainder to the pool;
+        request B (an unreachable target) then draws pool-funded
+        extension parts past its own budget.  A control daemon shows B
+        alone stops exactly at its budget.
+        """
+        unreachable = TargetStderr(1e-9)
+        b_request = EstimateRequest(
+            "srw2css", k=4, budget=2000, seed=13, chains=2,
+            fanout=True, snapshot_steps=500, target=unreachable,
+        )
+        with Daemon(csr, workers=1) as service:
+            first = service.submit(
+                EstimateRequest(
+                    "srw2css", k=4, budget=40_000, seed=7, chains=4,
+                    fanout=True, snapshot_steps=1000, target_stderr=0.02,
+                )
+            )
+            a_final = list(first.snapshots(timeout=300))[-1]
+            assert a_final.early_stopped
+            released = service.stats()["released_budget"]
+            assert released == 40_000 - a_final.steps > 0
+
+            second = service.submit(b_request)
+            b_final = list(second.snapshots(timeout=300))[-1]
+            stats = service.stats()
+
+        assert b_final.final and b_final.error is None
+        # B ran past its own budget on pool-funded extension parts...
+        assert b_final.steps > 2000
+        stopping = b_final.estimate.meta["stopping"]
+        assert stopping["extra_steps"] == b_final.steps - 2000 > 0
+        # ...but the unreachable target still reports itself unmet, and
+        # extensions are capped at 3x the original budget.
+        assert not stopping["satisfied"]
+        assert stopping["extra_steps"] <= 3 * 2000
+        assert stats["reallocated_budget"] == stopping["extra_steps"]
+        assert stats["released_budget"] == released - stopping["extra_steps"]
+
+        # Control: with nothing in the pool, B stops exactly at budget.
+        with Daemon(csr, workers=1) as service:
+            control = service.submit(b_request).result(timeout=300)
+        assert control.steps == 2000
+        assert control.meta["stopping"]["extra_steps"] == 0
+
+
+# ----------------------------------------------------------------------
 # Admission control and failure surfaces
 # ----------------------------------------------------------------------
 class TestAdmission:
@@ -309,7 +393,7 @@ def test_worker_main_frame_protocol(csr):
     config = dict(
         method="srw1",
         k=3,
-        budget=2000,
+        target=2000,
         seed=4,
         seed_node=0,
         burn_in=0,

@@ -1,0 +1,304 @@
+"""Declarative stopping specs (ISSUE 8 tentpole + satellite 3).
+
+Pins the three contracts of :mod:`repro.core.stopping`:
+
+* **Bit-identity** — ``target=StepBudget(N)`` is byte-for-byte the
+  legacy ``budget=N`` run (hypothesis, across the framework methods),
+  and the deprecated ``EstimationConfig(budget=N)`` shim still produces
+  it (under a ``DeprecationWarning``).
+* **Monotonicity** — with a fixed seed and cadence, loosening a
+  variance target never makes a run stop *later*.
+* **Provenance** — an early-stopped estimate's ``meta["stopping"]``
+  records the spec, the rule that fired, and the steps actually spent;
+  a pure step-budget run carries no stopping meta at all.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import estimate
+from repro.core import (
+    AllOf,
+    AnyOf,
+    CIWidth,
+    Deadline,
+    EstimationConfig,
+    StepBudget,
+    StoppingRule,
+    TargetStderr,
+    TheoremBound,
+    parse_target,
+)
+from repro.core.stopping import StopProbe, as_stopping_spec
+from repro.estimators import prepare, run_config
+
+
+def canon(result) -> dict:
+    """``Estimate.to_dict()`` minus wall-clock noise."""
+    data = result.to_dict()
+    data.pop("elapsed_seconds", None)
+    meta = data.get("meta")
+    if isinstance(meta, dict):
+        for key in [k for k in meta if k.endswith("_seconds")]:
+            del meta[key]
+    return data
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: StepBudget(N) == legacy budget=N
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        method=st.sampled_from(["srw1", "srw2css", "srw3css"]),
+        budget=st.integers(min_value=200, max_value=2_000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_step_budget_equals_legacy_budget(self, karate, method, budget, seed):
+        k = {"srw1": 3, "srw2css": 4, "srw3css": 5}[method]
+        legacy = estimate(karate, method, k=k, budget=budget, seed=seed)
+        spec = estimate(karate, method, k=k, target=StepBudget(budget), seed=seed)
+        assert canon(legacy) == canon(spec)
+        # A pure step budget never annotates the estimate.
+        assert "stopping" not in spec.meta
+        assert spec.steps == budget
+
+    def test_deprecated_config_budget_still_runs_identically(self, karate):
+        with pytest.warns(DeprecationWarning, match="target=StepBudget"):
+            old = EstimationConfig(method="srw2css", k=4, budget=1_500, seed=9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = EstimationConfig(
+                method="srw2css", k=4, target=StepBudget(1_500), seed=9
+            )
+        assert old.budget == new.budget == 1_500
+        assert old.target == new.target
+        assert canon(prepare(karate, old).result()) == canon(
+            run_config(karate, new)
+        )
+
+    def test_budget_conflicting_with_step_cap_is_an_error(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            EstimationConfig(
+                method="srw1", k=3, budget=5_000, target=StepBudget(4_000)
+            )
+
+    def test_budget_caps_an_open_ended_target(self):
+        config = EstimationConfig(
+            method="srw1", k=3, budget=7_000, target=TargetStderr(0.01)
+        )
+        assert config.budget == 7_000
+        assert config.target.dynamic
+
+
+# ----------------------------------------------------------------------
+# Monotonic early stopping
+# ----------------------------------------------------------------------
+class TestMonotonicity:
+    def _steps_at(self, graph, rule) -> int:
+        result = estimate(
+            graph,
+            "srw1",
+            k=3,
+            budget=20_000,
+            chains=4,
+            backend="csr",
+            seed=11,
+            target=rule,
+        )
+        stopping = result.meta["stopping"]
+        assert stopping["steps"] == result.steps
+        return result.steps
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        pair=st.tuples(
+            st.floats(min_value=1e-4, max_value=0.3),
+            st.floats(min_value=1e-4, max_value=0.3),
+        )
+    )
+    def test_looser_stderr_target_never_stops_later(self, karate, pair):
+        tight, loose = sorted(pair)
+        assert self._steps_at(karate, TargetStderr(loose)) <= self._steps_at(
+            karate, TargetStderr(tight)
+        )
+
+    def test_looser_ci_width_never_stops_later(self, karate):
+        steps = [
+            self._steps_at(karate, CIWidth(width))
+            for width in (0.4, 0.1, 0.02, 0.002)
+        ]
+        assert steps == sorted(steps)
+
+    def test_fired_rule_and_steps_are_recorded(self, karate):
+        result = estimate(
+            karate,
+            "srw1",
+            k=3,
+            budget=20_000,
+            chains=4,
+            backend="csr",
+            seed=11,
+            target=TargetStderr(0.05) | StepBudget(20_000),
+        )
+        stopping = result.meta["stopping"]
+        assert stopping["target"] == "stderr:0.05|steps:20000"
+        assert stopping["fired"] == "stderr:0.05"
+        assert stopping["satisfied"] and stopping["early"]
+        assert 0 < stopping["steps"] < 20_000
+        assert result.steps == stopping["steps"]
+
+    def test_unreachable_target_spends_the_whole_cap(self, karate):
+        result = estimate(
+            karate,
+            "srw1",
+            k=3,
+            budget=4_000,
+            chains=4,
+            backend="csr",
+            seed=11,
+            target=TargetStderr(1e-12),
+        )
+        stopping = result.meta["stopping"]
+        assert result.steps == 4_000
+        assert not stopping["satisfied"] and not stopping["early"]
+
+    def test_single_chain_stderr_target_cannot_fire(self, karate):
+        result = estimate(
+            karate, "srw1", k=3, budget=3_000, seed=2, target=TargetStderr(1.0)
+        )
+        assert result.steps == 3_000
+        assert not result.meta["stopping"]["satisfied"]
+
+
+# ----------------------------------------------------------------------
+# Rule algebra, parsing, and the probe
+# ----------------------------------------------------------------------
+class TestRules:
+    def test_composition_flattens_and_dedupes(self):
+        spec = TargetStderr(0.1) | StepBudget(100) | TargetStderr(0.1)
+        assert isinstance(spec, AnyOf)
+        assert spec.members == (TargetStderr(0.1), StepBudget(100))
+        assert spec.dynamic and spec.requires_stderr
+        assert spec.step_cap() == 100
+
+    def test_allof_cap_needs_every_member_capped(self):
+        both = StepBudget(100) & StepBudget(300)
+        assert isinstance(both, AllOf)
+        assert both.step_cap() == 300
+        assert (StepBudget(100) & TargetStderr(0.1)).step_cap() is None
+
+    def test_deadline_fires_on_elapsed(self):
+        probe = StopProbe(estimate=None, steps=10, budget=100, elapsed=2.5)
+        assert Deadline(2.0).satisfied(probe)
+        assert not Deadline(3.0).satisfied(probe)
+
+    def test_validation_rejects_nonpositive_thresholds(self):
+        with pytest.raises(ValueError):
+            StepBudget(0)
+        with pytest.raises(ValueError):
+            TargetStderr(0.0)
+        with pytest.raises(ValueError):
+            CIWidth(-0.1)
+        with pytest.raises(ValueError, match="confidence"):
+            CIWidth(0.1, confidence=1.0)
+        with pytest.raises(ValueError, match="epsilon"):
+            TheoremBound(epsilon=0.0)
+        with pytest.raises(ValueError, match="delta"):
+            TheoremBound(delta=1.0)
+
+    def test_parse_target_round_trips_describe(self):
+        for text in (
+            "steps:5000",
+            "deadline:2.5",
+            "stderr:0.05",
+            "ci:0.1",
+            "rci:0.2",
+            "ci:0.1@0.99",
+            "stderr:0.05|steps:5000",
+            "deadline:2.5&steps:5000",
+        ):
+            assert parse_target(text).describe() == text
+
+    def test_parse_target_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_target("")
+        with pytest.raises(ValueError, match="unknown stopping rule"):
+            parse_target("pixie:3")
+        with pytest.raises(ValueError, match="mixes"):
+            parse_target("ci:0.1|steps:10&deadline:5")
+
+    def test_as_stopping_spec_coercions(self):
+        assert as_stopping_spec(5_000) == StepBudget(5_000)
+        assert as_stopping_spec("5000") == StepBudget(5_000)
+        rule = TargetStderr(0.1)
+        assert as_stopping_spec(rule) is rule
+        with pytest.raises(TypeError):
+            as_stopping_spec(True)
+        with pytest.raises(TypeError):
+            as_stopping_spec(1.5)
+
+    def test_theorem_bound_binds_to_the_graph(self, karate):
+        result = estimate(
+            karate,
+            "srw1",
+            k=3,
+            budget=50_000,
+            seed=4,
+            target=TheoremBound(epsilon=0.5, delta=0.5, graphlet_index=1),
+        )
+        stopping = result.meta["stopping"]
+        assert stopping["satisfied"]
+        assert stopping["fired"].startswith("theorem3:0.5:0.5:g1(n>=")
+        assert result.steps < 50_000
+
+    def test_theorem_bound_needs_k(self, karate):
+        config = EstimationConfig(
+            method="srw1", budget=1_000, target=TheoremBound()
+        )
+        with pytest.raises(ValueError, match="graphlet size k"):
+            run_config(karate, config)
+
+
+# ----------------------------------------------------------------------
+# Session.run cadence
+# ----------------------------------------------------------------------
+class TestRunCadence:
+    def test_check_every_controls_the_stop_granularity(self, karate):
+        coarse = estimate(
+            karate, "srw1", k=3, budget=8_000, chains=4, backend="csr",
+            seed=11, target=TargetStderr(0.05), check_every=4_000,
+        )
+        fine = estimate(
+            karate, "srw1", k=3, budget=8_000, chains=4, backend="csr",
+            seed=11, target=TargetStderr(0.05), check_every=500,
+        )
+        assert fine.steps <= coarse.steps
+        assert coarse.steps % 4_000 == 0
+        assert fine.steps % 500 == 0
+
+    def test_check_every_must_be_positive(self, karate):
+        with pytest.raises(ValueError, match="check_every"):
+            estimate(
+                karate, "srw1", k=3, budget=1_000, seed=1,
+                target=TargetStderr(0.1), check_every=0,
+            )
+
+    def test_estimate_accepts_spec_strings(self, karate):
+        result = estimate(
+            karate, "srw1", k=3, budget=20_000, chains=4, backend="csr",
+            seed=11, target="stderr:0.05|steps:20000",
+        )
+        assert result.meta["stopping"]["fired"] == "stderr:0.05"
+
+    def test_stopping_rule_base_is_abstract(self):
+        probe = StopProbe(estimate=None, steps=1, budget=2)
+        with pytest.raises(NotImplementedError):
+            StoppingRule().satisfied(probe)
+        with pytest.raises(NotImplementedError):
+            StoppingRule().describe()
