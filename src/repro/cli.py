@@ -189,6 +189,7 @@ def cmd_estimate(args) -> int:
             chains=args.chains,
             burn_in=args.burn_in,
             target=_stopping_target(args),
+            block_size=args.block_size,
         )
     except (KeyError, ValueError) as exc:
         # KeyError.__str__ is the repr of its argument; unwrap it.
@@ -541,10 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default=None,
-        choices=("list", "csr", "delta"),
+        choices=("list", "csr", "csr-jit", "delta"),
         help="graph storage backend (csr enables vectorized multi-chain "
-        "walks for every G(d), including SRW3/SRW4/PSRW; delta wraps the "
-        "graph in an updatable overlay with the same fast paths)",
+        "walks for every G(d), including SRW3/SRW4/PSRW; csr-jit adds "
+        "the optional numba kernels for the fused d=3 fast path, "
+        "falling back to csr with a warning when numba is missing; "
+        "delta wraps the graph in an updatable overlay with the same "
+        "fast paths)",
     )
     p.add_argument(
         "--chains",
@@ -553,6 +557,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent walk chains to split the step budget over "
         "(without --backend csr the chains run serially and a "
         "fallback warning is printed once)",
+    )
+    p.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        dest="block_size",
+        help="lockstep transitions per engine call on the vectorized "
+        "multi-chain path (throughput knob only: results are "
+        "blocking-independent)",
     )
     _add_target_arguments(p)
     p.set_defaults(func=cmd_estimate)

@@ -164,6 +164,7 @@ def run_estimation(
     seed_node: int = 0,
     burn_in: int = 0,
     chains: int = 1,
+    block_size: Optional[int] = None,
 ) -> Estimate:
     """Algorithm 1: estimate k-node graphlet statistics with ``steps``
     random-walk transitions.
@@ -188,12 +189,20 @@ def run_estimation(
         ``chains=1`` the estimator is bit-identical to the seed serial
         loop; with ``chains=B`` the pooled sums estimate the same
         quantities (vectorized on the CSR backend, any d).
+    block_size:
+        Lockstep transitions the vectorized multi-chain path consumes
+        per engine call (default 512).  A pure throughput knob: the
+        accumulator's pooled sums are blocking-independent, so any value
+        yields bit-identical results.  Ignored with ``chains=1``.
     """
     if chains < 1:
         raise ValueError(f"chains must be >= 1, got {chains}")
     if chains == 1:
         return _run_walk(graph, spec, [steps], rng, seed_node, burn_in)[-1]
-    return _run_multichain(graph, spec, steps, chains, rng, seed_node, burn_in)
+    return _run_multichain(
+        graph, spec, steps, chains, rng, seed_node, burn_in,
+        block_size=block_size,
+    )
 
 
 def _effective_degree_fn(
@@ -516,6 +525,11 @@ def _batched_python(
     return sums, sample_counts, valid_samples
 
 
+#: Default lockstep transitions per engine call in the vectorized
+#: accumulator.  Purely a throughput knob (see ``block_size`` below).
+DEFAULT_ACC_BLOCK = 512
+
+
 class _VectorizedAccumulator:
     """One-pass vectorized window accumulation for batched chains.
 
@@ -554,15 +568,25 @@ class _VectorizedAccumulator:
     ``advance`` consumes any number of counted windows — whole blocks of
     rows, or part of one row (the streaming session's round-robin
     granularity; windows within a row count in chain order).
+
+    ``block_size`` caps the lockstep transitions consumed per engine
+    call.  Because the per-(chain, type) cells are blocking-independent
+    (see above), it affects throughput only — every value produces
+    bit-identical sums.
     """
 
     def __init__(
         self, graph, spec: MethodSpec, alphas, budgets: List[int], engine,
-        burn_in: int,
+        burn_in: int, block_size: Optional[int] = None,
     ) -> None:
         budgets_arr = np.asarray(budgets, dtype=np.int64)
         if np.any(budgets_arr[1:] > budgets_arr[:-1]):
             raise ValueError("budgets must be non-increasing")
+        if block_size is None:
+            block_size = DEFAULT_ACC_BLOCK
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self._block_size = int(block_size)
         self.graph = graph
         self.spec = spec
         self.chains = len(budgets)
@@ -651,7 +675,7 @@ class _VectorizedAccumulator:
                 return
             # Rows keep one width until the next budget boundary.
             boundary = int(self.budgets[self.budgets > self._row].min())
-            t = min(boundary - self._row, n // width, 512)
+            t = min(boundary - self._row, n // width, self._block_size)
             stream = np.concatenate(
                 [
                     self._tail,
@@ -745,6 +769,7 @@ def _run_multichain(
     rng: Optional[random.Random] = None,
     seed_node: int = 0,
     burn_in: int = 0,
+    block_size: Optional[int] = None,
 ) -> Estimate:
     """Pooled estimation over ``chains`` independent walks.
 
@@ -779,7 +804,10 @@ def _run_multichain(
             rng=rng,
             seed_node=seed_node,
         )
-        acc = _VectorizedAccumulator(graph, spec, alphas, budgets, engine, burn_in)
+        acc = _VectorizedAccumulator(
+            graph, spec, alphas, budgets, engine, burn_in,
+            block_size=block_size,
+        )
         acc.advance(acc.total)
         sums, sample_counts, valid_samples = (
             acc.pooled_sums(),
@@ -863,6 +891,7 @@ class SRWSession(Session):
         seed_node: int = 0,
         burn_in: int = 0,
         chains: int = 1,
+        block_size: Optional[int] = None,
     ) -> None:
         super().__init__(budget)
         if chains < 1:
@@ -877,6 +906,7 @@ class SRWSession(Session):
         self._seed_node = seed_node
         self._burn_in = burn_in
         self._chains = chains
+        self._block_size = block_size
         self._alphas = alpha_table(spec.k, spec.d)
         # Chains are built lazily on the first streaming step, so an
         # unstreamed result() can hand the untouched rng to the (possibly
@@ -919,6 +949,7 @@ class SRWSession(Session):
             self._chain_budgets(),
             engine,
             self._burn_in,
+            block_size=self._block_size,
         )
 
     def _ensure_chains(self) -> None:
@@ -968,6 +999,7 @@ class SRWSession(Session):
                 seed_node=self._seed_node,
                 burn_in=self._burn_in,
                 chains=self._chains,
+                block_size=self._block_size,
             )
             self._consumed = self.budget
             self._elapsed = estimate.elapsed_seconds

@@ -81,6 +81,7 @@ class SRWEstimator:
             seed_node=config.seed_node,
             burn_in=config.burn_in,
             chains=config.chains,
+            block_size=config.options.get("block_size"),
         )
 
 
@@ -99,6 +100,7 @@ class PSRWEstimator:
             seed_node=config.seed_node,
             burn_in=config.burn_in,
             chains=config.chains,
+            block_size=config.options.get("block_size"),
         )
 
 
@@ -117,6 +119,7 @@ class PlainSRWEstimator:
             seed_node=config.seed_node,
             burn_in=config.burn_in,
             chains=config.chains,
+            block_size=config.options.get("block_size"),
         )
 
 

@@ -37,11 +37,13 @@ a replacement worker is spawned.  Requests carry optional deadlines
 ``timed_out``) and an optional declarative stopping ``target``
 (:mod:`repro.core.stopping`), evaluated on every progressive snapshot;
 ``method="auto"`` resolves through :mod:`repro.estimators.selector`
-before parts are built.  A request that early-stops *releases* its
-unused budget into a pool; a request that finishes its budget with its
-dynamic target still unmet draws replacement budget from that pool as
-extra single-chain parts (scheduler-side reallocation — the freed steps
-go to whoever is still converging).  Admission is bounded: at most
+before parts are built.  A request that early-stops or is cancelled
+*releases* its unused budget into a pool — exactly once per request,
+with steps walked by SIGKILLed incarnations counted as spent so a
+requeue can never double-release; a request that finishes its budget
+with its dynamic target still unmet draws replacement budget from that
+pool as extra single-chain parts (scheduler-side reallocation — the
+freed steps go to whoever is still converging).  Admission is bounded: at most
 ``max_pending`` requests are in the system, further ``submit`` calls
 block (or raise :class:`ServiceOverloaded`).
 
@@ -132,7 +134,7 @@ class _Worker:
 class _Part:
     """One schedulable unit of a request."""
 
-    __slots__ = ("config", "attempt", "latest", "steps", "final")
+    __slots__ = ("config", "attempt", "latest", "steps", "final", "dead_steps")
 
     def __init__(self, config: dict):
         self.config = config        # EstimationConfig kwargs for the worker
@@ -140,6 +142,7 @@ class _Part:
         self.latest: Optional[Estimate] = None   # newest partial frame
         self.steps = 0
         self.final: Optional[Estimate] = None
+        self.dead_steps = 0         # steps walked by dead incarnations
 
 
 class _RequestState:
@@ -149,6 +152,7 @@ class _RequestState:
         "id", "request", "parts", "snapshots", "done", "final_snapshot",
         "seq", "deadline", "finished", "requeues",
         "selection", "fired", "extra_parts", "extra_steps", "started",
+        "budget_returned",
     )
 
     def __init__(self, request_id: str, request: EstimateRequest, parts):
@@ -171,6 +175,7 @@ class _RequestState:
         self.extra_parts = 0       # reallocation extensions appended
         self.extra_steps = 0       # budget granted beyond request.budget
         self.started = time.monotonic()
+        self.budget_returned = False  # unused budget banked into the pool
 
 
 class RequestHandle:
@@ -584,7 +589,9 @@ class Daemon:
     def _cancel(self, state: _RequestState) -> None:
         with self._lock:
             if not state.finished:
-                self._finalize(state, error="cancelled by caller")
+                self._finalize(
+                    state, error="cancelled by caller", cancelled=True
+                )
 
     # ------------------------------------------------------------------
     # Collector: routing, liveness, deadlines (single thread)
@@ -673,7 +680,10 @@ class Daemon:
                     if part.attempt == attempt and part.final is None:
                         # Forget the dead incarnation's partial progress so
                         # the retry replays the identical chain from step 0
-                        # (at-most-once per chain seed).
+                        # (at-most-once per chain seed).  Its walked steps
+                        # stay on the books as spent compute, so a later
+                        # release cannot bank them as unused budget.
+                        part.dead_steps += part.steps
                         part.attempt += 1
                         part.latest = None
                         part.steps = 0
@@ -872,6 +882,7 @@ class Daemon:
         error: Optional[str] = None,
         early: bool = False,
         progress_snapshot: Optional[Snapshot] = None,
+        cancelled: bool = False,
     ) -> None:
         if state.finished:
             return
@@ -886,10 +897,20 @@ class Daemon:
             )
             snapshot.error = error
         spec = state.request.target
-        if snapshot.early_stopped:
-            # An early stop abandons the rest of its budget; bank it for
-            # still-converging requests (see _maybe_extend).
-            released = max(0, snapshot.budget - snapshot.steps)
+        if (snapshot.early_stopped or cancelled) and not state.budget_returned:
+            # An early stop or a caller cancel abandons the rest of its
+            # budget; bank it for still-converging requests (see
+            # _maybe_extend).  The walked steps of a part whose worker
+            # died count as spent even though a requeue reset its frames
+            # — otherwise a cancel after a SIGKILL would bank the same
+            # share twice (once as "unused", once via the replay that
+            # never runs).  ``budget_returned`` makes the release
+            # exactly-once under any finalize/requeue interleaving.
+            state.budget_returned = True
+            dead_steps = sum(
+                p.dead_steps for p in state.parts if p.final is None
+            )
+            released = max(0, snapshot.budget - snapshot.steps - dead_steps)
             self._released_budget += released
         if (
             spec is not None

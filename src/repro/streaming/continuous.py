@@ -213,10 +213,12 @@ class ContinuousSession(Session):
         monitoring loop can call this forever.  With a ``target``
         stopping spec (:mod:`repro.core.stopping`) the refresh repeats
         ``steps``-sized epochs until a dynamic rule fires or the spec's
-        step cap is spent (rounded up to whole epochs; open-ended specs
-        default to 8 epochs per refresh), and the returned snapshot's
-        ``meta["stopping"]`` records what happened — so each refresh
-        spends only as much walking as its accuracy target needs.
+        step cap is spent — the final epoch is clamped so the cap is
+        honored exactly (never overshot), and a rule met in that partial
+        tail still fires; open-ended specs default to 8 epochs per
+        refresh.  The returned snapshot's ``meta["stopping"]`` records
+        what happened — so each refresh spends only as much walking as
+        its accuracy target needs.
         """
         want = self.refresh_budget if steps is None else int(steps)
         if want < self._chains:
@@ -239,10 +241,13 @@ class ContinuousSession(Session):
         fired = None
         epoch_start = self._elapsed
         while True:
-            if self.remaining < want:
-                self._extend_budget(want - self.remaining)
-            self.step(want)
-            spent += want
+            # Clamp the tail epoch to the cap instead of overshooting it
+            # (the engine still needs one transition per chain).
+            epoch = max(min(want, cap - spent), self._chains)
+            if self.remaining < epoch:
+                self._extend_budget(epoch - self.remaining)
+            self.step(epoch)
+            spent += epoch
             checks += 1
             snapshot = self.snapshot()
             probe = StopProbe(

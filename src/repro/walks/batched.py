@@ -44,7 +44,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..graphs.csr import CSRGraph
+from ..graphs.csr import CSRGraph, JitCSRGraph
+from ..relgraph.fused import FusedD3Kernel
 from ..relgraph.vectorized import VectorSpace, vector_space
 
 #: Steps per vectorized block when draining the engine incrementally; big
@@ -146,6 +147,14 @@ class BatchedWalkEngine:
         without perturbing the transition stream.  States are trusted:
         callers re-project any state invalidated by a graph change
         before resuming (see :mod:`repro.streaming`).
+    fused:
+        Use the closed-form fused kernel
+        (:class:`~repro.relgraph.fused.FusedD3Kernel`) for d = 3
+        transitions when available.  Bit-identical to the generic path
+        for any fixed seed — this is a performance switch, kept only so
+        benchmarks can time the unfused baseline.  When the substrate is
+        a :class:`~repro.graphs.csr.JitCSRGraph` (``backend="csr-jit"``)
+        and numba is importable, the kernel's inner loops run compiled.
     """
 
     def __init__(
@@ -158,6 +167,7 @@ class BatchedWalkEngine:
         non_backtracking: bool = False,
         seed_nodes: Optional[Sequence[int]] = None,
         initial_states: Optional[np.ndarray] = None,
+        fused: bool = True,
     ) -> None:
         if not isinstance(csr, CSRGraph):
             raise TypeError("BatchedWalkEngine requires a CSRGraph substrate")
@@ -196,6 +206,16 @@ class BatchedWalkEngine:
             self._cur = self.space.initial(csr, rng, starts)
         self._prev = None  # previous states, set once NB chains have moved
 
+        self._fused: Optional[FusedD3Kernel] = None
+        if fused and d == 3:
+            jit = None
+            if isinstance(csr, JitCSRGraph):
+                from ..relgraph import jitkernels
+
+                if jitkernels.HAVE_NUMBA:  # pragma: no cover - numba CI leg
+                    jit = jitkernels
+            self._fused = FusedD3Kernel(csr, jit=jit)
+
     # ------------------------------------------------------------------
     # Public stepping API
     # ------------------------------------------------------------------
@@ -206,7 +226,14 @@ class BatchedWalkEngine:
     def step(self) -> np.ndarray:
         """Advance every chain by one transition; returns the new states."""
         cur = self._cur
-        if self.nb and self._prev is not None:
+        kern = self._fused
+        if kern is not None and kern.ready():
+            u = self.rng.random(self.chains)
+            if self.nb and self._prev is not None:
+                nxt = kern.propose_nb(cur, self._prev, u)
+            else:
+                nxt = kern.propose(cur, u)
+        elif self.nb and self._prev is not None:
             nxt = self.space.propose_nb(self.csr, cur, self._prev, self.rng)
         else:
             nxt = self.space.propose(self.csr, cur, self.rng)
@@ -221,13 +248,57 @@ class BatchedWalkEngine:
         Shape is ``(steps, B)`` for d = 1 and ``(steps, B, d)`` otherwise
         — time-major so consumers can peel off per-chain streams with a
         stride-1 slice per chain (``block[:, b]``).
+
+        For d >= 3 the whole block runs as one Python-level pass: the
+        ``(steps, B)`` uniform block is drawn up front (C-order, so the
+        draw order matches ``steps`` successive :meth:`step` calls bit
+        for bit) and every transition writes straight into its row of the
+        history buffer.  A mid-block :class:`WalkSpaceError` (stuck
+        state) propagates after committing the transitions that already
+        completed, exactly like the per-step loop.
         """
         if self.d == 1:
             out = np.empty((steps, self.chains), dtype=np.int64)
         else:
             out = np.empty((steps, self.chains, self.d), dtype=np.int64)
-        for t in range(steps):
-            out[t] = self.step()
+        if self.d < 3 or steps == 0:
+            # Rejection-style kernels (d <= 2) have data-dependent draw
+            # counts; they keep the per-step loop.
+            for t in range(steps):
+                out[t] = self.step()
+            return out
+        kern = self._fused
+        use_fused = kern is not None and kern.ready()
+        U = self.rng.random((steps, self.chains))
+        cur = self._cur
+        prev = self._prev
+        done = 0
+        try:
+            for t in range(steps):
+                row = out[t]
+                if use_fused:
+                    if self.nb and prev is not None:
+                        nxt = kern.propose_nb(cur, prev, U[t], out=row)
+                    else:
+                        nxt = kern.propose(cur, U[t], out=row)
+                elif self.nb and prev is not None:
+                    nxt = self.space.propose_nb(
+                        self.csr, cur, prev, self.rng, u=U[t]
+                    )
+                else:
+                    nxt = self.space.propose(self.csr, cur, self.rng, u=U[t])
+                if nxt is not row:
+                    row[...] = nxt
+                    nxt = row
+                prev = cur
+                cur = nxt
+                done = t + 1
+        finally:
+            if done:
+                # Engine state must not alias the returned buffer.
+                self._prev = None if prev is None else prev.copy()
+                self._cur = cur.copy()
+                self.steps_taken += done
         return out
 
     def state_degrees(self) -> np.ndarray:

@@ -289,6 +289,33 @@ class TestSelfTuning:
         assert control.steps == 2000
         assert control.meta["stopping"]["extra_steps"] == 0
 
+    def test_cancel_releases_unused_budget_exactly_once(self, csr):
+        """A caller cancel banks budget - steps into the pool — once.
+
+        The released amount must be exactly the cancelled request's
+        unwalked remainder (pinned against the error snapshot the cancel
+        produces), and a second cancel of the same handle must not bank
+        anything more.
+        """
+        with Daemon(csr, workers=1) as service:
+            handle = service.submit(
+                EstimateRequest(
+                    "srw2css", k=4, budget=2_000_000, seed=5,
+                    snapshot_steps=2000,
+                )
+            )
+            stream = handle.snapshots(timeout=120)
+            first = next(stream)  # the request demonstrably ran...
+            assert first.steps > 0
+            handle.cancel()       # ...and is then abandoned mid-budget
+            with pytest.raises(RequestFailed, match="cancelled") as excinfo:
+                handle.result(timeout=60)
+            final = excinfo.value.snapshot
+            released = service.stats()["released_budget"]
+            assert released == final.budget - final.steps > 0
+            handle.cancel()  # idempotent: nothing left to release
+            assert service.stats()["released_budget"] == released
+
 
 # ----------------------------------------------------------------------
 # Admission control and failure surfaces
@@ -475,6 +502,59 @@ class TestFaultInjection:
             assert canon(again) == canon(
                 in_process_estimate(csr, "srw1", k=3, budget=1000, seed=2)
             )
+
+    def test_cancel_after_sigkill_does_not_double_release_budget(self, csr):
+        """A SIGKILL requeue must not inflate a later cancel's release.
+
+        The dead incarnation's walked steps were spent compute even
+        though the requeue reset its frames to replay from step 0; a
+        cancel after the kill may only bank
+        ``budget - live_steps - dead_steps``.  Pre-fix, the release was
+        ``budget - live_steps`` — the dead incarnation's share was
+        banked a second time.
+        """
+        with Daemon(csr, workers=2) as service:
+            handle = service.submit(
+                EstimateRequest(
+                    "srw2css", k=4, budget=2_000_000, seed=17,
+                    snapshot_steps=2000,
+                )
+            )
+            stream = handle.snapshots(timeout=120)
+            pre_kill = next(stream).steps  # the doomed incarnation's floor
+            assert pre_kill > 0
+            victim = None
+            deadline = time.monotonic() + 30
+            while victim is None and time.monotonic() < deadline:
+                busy = [
+                    worker.process.pid
+                    for worker in service._workers.values()
+                    if worker.inflight is not None
+                    and not worker.retired
+                    and worker.process.is_alive()
+                ]
+                victim = busy[0] if busy else None
+                if victim is None:
+                    time.sleep(0.002)
+            assert victim is not None, "no worker ever went busy"
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 60
+            while (
+                service.stats()["requeues"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.002)
+            assert service.stats()["requeues"] >= 1, "kill never requeued"
+            handle.cancel()
+            with pytest.raises(RequestFailed, match="cancelled") as excinfo:
+                handle.result(timeout=60)
+            final = excinfo.value.snapshot
+            released = service.stats()["released_budget"]
+            # final.steps only counts the live incarnation (the requeue
+            # reset the dead one's frames), so exactly-once accounting
+            # means the release is short of budget - steps by at least
+            # the steps the dead incarnation demonstrably walked.
+            assert 0 < released <= final.budget - final.steps - pre_kill
 
     def test_timeout_returns_last_snapshot(self, daemon):
         handle = daemon.submit(

@@ -302,3 +302,80 @@ class TestRunCadence:
             StoppingRule().satisfied(probe)
         with pytest.raises(NotImplementedError):
             StoppingRule().describe()
+
+
+class _StepsReached(StoppingRule):
+    """Test-only dynamic rule: fires once ``probe.steps`` reaches a
+    threshold — deterministic, unlike the variance rules, so cadence
+    regressions pin exactly which check window fired."""
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = int(threshold)
+
+    def satisfied(self, probe: StopProbe) -> bool:
+        return probe.steps >= self.threshold
+
+    def describe(self) -> str:
+        return f"reached:{self.threshold}"
+
+
+class TestCadenceTailWindows:
+    """ISSUE 9 satellite: the final partial check window is a real one.
+
+    When ``check_every`` does not divide the budget, the run's last
+    window is shorter than the cadence — dynamic rules must still be
+    evaluated there (a rule first met in the tail fires; an unmet one
+    is *checked*, not skipped), and a refresh cap must be honored
+    exactly rather than overshot by a full epoch.
+    """
+
+    def test_rule_met_only_in_the_partial_tail_still_fires(self, karate):
+        # Windows of 4000/4000/1000: only the 1000-step tail can satisfy
+        # the threshold, so a skipped tail check would report unmet.
+        result = estimate(
+            karate, "srw1", k=3, budget=9_000, chains=4, backend="csr",
+            seed=11, target=_StepsReached(8_001), check_every=4_000,
+        )
+        assert result.steps == 9_000
+        stopping = result.meta["stopping"]
+        assert stopping["satisfied"]
+        assert stopping["fired"] == "reached:8001"
+        assert stopping["checks"] == 3
+
+    def test_unmet_rule_is_still_checked_in_the_tail(self, karate):
+        result = estimate(
+            karate, "srw1", k=3, budget=9_000, chains=4, backend="csr",
+            seed=11, target=TargetStderr(1e-12), check_every=4_000,
+        )
+        assert result.steps == 9_000
+        stopping = result.meta["stopping"]
+        assert not stopping["satisfied"]
+        assert stopping["checks"] == 3  # 4000 + 4000 + the 1000 tail
+
+    def test_refresh_cap_is_honored_exactly(self, karate):
+        # cap 2500, epochs of 1000: the tail epoch must clamp to 500,
+        # never overshoot to a full third epoch (3000 steps).
+        from repro.streaming import ContinuousSession
+
+        session = ContinuousSession(
+            karate, "SRW1", k=3, chains=4, refresh_budget=1_000, seed=5
+        )
+        snapshot = session.refresh(target="stderr:1e-12|steps:2500")
+        stopping = snapshot.meta["stopping"]
+        assert stopping["steps"] == 2_500
+        assert stopping["checks"] == 3
+        assert session.consumed == 2_500
+        assert not stopping["early"]
+
+    def test_refresh_rule_met_in_the_clamped_tail_fires(self, karate):
+        from repro.streaming import ContinuousSession
+
+        session = ContinuousSession(
+            karate, "SRW1", k=3, chains=4, refresh_budget=1_000, seed=5
+        )
+        spec = _StepsReached(2_400) | StepBudget(2_500)
+        snapshot = session.refresh(target=spec)
+        stopping = snapshot.meta["stopping"]
+        assert stopping["steps"] == 2_500  # 1000 + 1000 + clamped 500
+        assert stopping["satisfied"]
+        assert stopping["fired"] == "reached:2400"

@@ -37,7 +37,7 @@ from repro.graphs import CSRGraph, Graph
 from repro.graphs.generators import barabasi_albert, complete_graph, path_graph
 from repro.relgraph import enumerate_states
 from repro.relgraph.spaces import SubgraphSpace, WalkSpaceError
-from repro.relgraph.vectorized import VectorSubgraphSpace
+from repro.relgraph.vectorized import VectorSubgraphSpace, _uniform_neighbor
 from repro.walks import BatchedWalkEngine, state_degrees
 
 
@@ -187,6 +187,84 @@ class TestFrontierProperties:
             expected = space.degree(g, state)
             assert int(plain[i, 0]) == expected
             assert int(nominal[i, 0]) == max(expected - 1, 1)
+
+
+class _ConstantUniform:
+    """An rng stub whose ``random(n)`` returns a fixed value — drives the
+    index-draw kernels through the exact float edge a real Generator
+    reaches with probability ~2**-53."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def random(self, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+
+class TestIndexDrawSafety:
+    """Regression pins for the ``floor(U * count)`` index draws.
+
+    ``U * count`` can round up to ``count`` itself at the top of the
+    unit interval; unclipped, that reads one slot past the segment (the
+    next CSR row / the next lane's candidates).  And a zero-count row
+    must raise, not silently gather a neighboring row's data.
+    """
+
+    def test_uniform_neighbor_clips_the_top_of_the_unit_interval(self):
+        csr = CSRGraph.from_graph(barabasi_albert(50, 3, seed=4))
+        nodes = np.arange(50, dtype=np.int64)
+        last = _uniform_neighbor(csr, nodes, _ConstantUniform(1.0))
+        expected = csr.indices[csr.indptr[nodes] + csr.degrees_array[nodes] - 1]
+        assert np.array_equal(last, expected)
+        first = _uniform_neighbor(csr, nodes, _ConstantUniform(0.0))
+        assert np.array_equal(first, csr.indices[csr.indptr[nodes]])
+
+    def test_uniform_neighbor_raises_on_isolated_nodes(self):
+        # Node 4 is isolated; without the zero-degree guard the clipped
+        # offset (-1) would gather the previous row's last neighbor.
+        csr = CSRGraph.from_graph(Graph(5, [(0, 1), (1, 2), (2, 3)]))
+        rng = np.random.default_rng(0)
+        with pytest.raises(WalkSpaceError, match="node 4 is isolated"):
+            _uniform_neighbor(csr, np.array([0, 4, 2]), rng)
+
+    def test_propose_clips_rank_at_degree(self):
+        # U == 1.0 on every lane must select the *last* canonical
+        # neighbor, never rank == degree (an out-of-segment read).
+        g = barabasi_albert(40, 3, seed=6)
+        csr = CSRGraph.from_graph(g)
+        vec = VectorSubgraphSpace(3)
+        states = vec.initial(csr, np.random.default_rng(3), np.arange(8))
+        nxt = vec.propose(csr, states, _ConstantUniform(1.0))
+        for row, out in zip(states, nxt):
+            assert tuple(out) == canonical_neighbors(g, tuple(row))[-1]
+
+    def test_initial_growth_clips_frontier_rank(self):
+        # Same edge in the multiset-frontier growth draw.
+        csr = CSRGraph.from_graph(barabasi_albert(40, 3, seed=6))
+        vec = VectorSubgraphSpace(3)
+        states = vec.initial(csr, _ConstantUniform(1.0), np.arange(8))
+        degs = csr.degrees_array
+        assert np.all(degs[states.reshape(-1)] > 0)
+        assert np.all(states[:, :-1] < states[:, 1:])  # sorted, distinct
+
+    def test_block_draw_order_matches_per_step_draws(self):
+        # The blocked kernel pre-draws a (T, B) C-order matrix; it must
+        # equal T successive per-step random(B) calls draw for draw —
+        # the invariant the fused path's bit-identity rests on.
+        block = np.random.default_rng(11).random((5, 7))
+        rng = np.random.default_rng(11)
+        assert np.array_equal(block, np.vstack([rng.random(7) for _ in range(5)]))
+
+    def test_propose_with_predrawn_uniforms_matches_internal_draw(self):
+        csr = CSRGraph.from_graph(barabasi_albert(60, 3, seed=8))
+        vec = VectorSubgraphSpace(3)
+        states = vec.initial(csr, np.random.default_rng(1), np.arange(16))
+        u = np.random.default_rng(2).random(16)
+        a = vec.propose(csr, states, None, u=u)
+        b = vec.propose(csr, states, _ConstantUniform(np.nan), u=u)  # rng unused
+        c = vec.propose(csr, states, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
 
 
 class TestWalkParity:
