@@ -1,0 +1,191 @@
+"""Out-of-core substrate: mmap-served walks, streaming ingest, census scaling.
+
+Not a paper table — this benchmarks the repo's out-of-core tentpole
+(ISSUE 10) at the scale regime it exists for:
+
+* *mmap walk throughput*: end-to-end SRW3 (k = 4, 256 chains) on a
+  memory-mapped CSR layout against the same arrays in RAM.  Once the
+  pages are faulted in, ``np.memmap`` reads are ordinary array reads, so
+  the disk-backed path must hold >= 0.7x the in-RAM rate — and the
+  estimates themselves must be bit-identical (the mmap layer is a
+  storage move, never a numerics move).
+* *streaming ingest*: a ~1e7-edge SNAP-style text file parsed, deduped,
+  LCC-extracted and written as a CSR layout by the chunked external-sort
+  pipeline.  Gates: sustained throughput (>= 400k edges/s on a shared
+  single-core runner; the design target on idle multi-core hardware is
+  >= 1e6 edges/s) and bounded peak RSS (<= 1100 MB for a 150 MB file —
+  the naive all-in-RAM Python ingest needs several GB at this size),
+  measured in a child process so this process's own footprint cannot
+  mask a regression.
+* *census scaling*: the blocked parallel triad census at jobs = 8 must
+  beat the serial pass by >= 4x (skipped below 8 cores; parity across
+  jobs values is asserted unconditionally in tests/test_exact.py).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.estimators import estimate
+from repro.evaluation import format_table
+from repro.exact import triad_census
+from repro.graphs import CSRGraph, MmapCSRGraph, barabasi_albert
+
+N_NODES = 10_000
+BA_M = 10  # ~1e5 edges
+CHAINS = 256
+SRW3_BUDGET = 30_000
+MIN_MMAP_RATIO = 0.7
+
+INGEST_EDGES = 10_000_000
+INGEST_ID_SPACE = 3_000_000
+MIN_INGEST_EDGES_PER_S = 400_000
+MAX_INGEST_RSS_MB = 1100
+
+CENSUS_JOBS = 8
+MIN_CENSUS_SPEEDUP = 4.0
+
+_INGEST_CHILD = """
+import resource, sys
+from repro.graphs.ingest import ingest_edge_list
+
+report = ingest_edge_list(sys.argv[1], sys.argv[2], lcc=True, max_memory_mb=256)
+peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+print(f"{report.edges} {report.edges_per_second:.0f} {peak_mb:.0f}")
+"""
+
+
+def _write_edge_file(path, edges: int, id_space: int) -> None:
+    """Emit a shuffled SNAP-style edge list fast (chunked numpy formatting)."""
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, id_space, size=(edges, 2), dtype=np.int64)
+    with open(path, "w") as handle:
+        step = 1_000_000
+        for i in range(0, edges, step):
+            chunk = pairs[i : i + step]
+            u = chunk[:, 0].astype("U7")
+            v = chunk[:, 1].astype("U7")
+            handle.write("".join(np.char.add(np.char.add(u, " "), np.char.add(v, "\n")).tolist()))
+
+
+def _timed_estimate(graph):
+    estimate(graph, "SRW3", k=4, budget=2_000, seed=1, chains=CHAINS)  # warm
+    start = time.process_time()
+    result = estimate(graph, "SRW3", k=4, budget=SRW3_BUDGET, seed=1, chains=CHAINS)
+    return time.process_time() - start, result
+
+
+def test_mmap_walk_throughput(tmp_path, benchmark):
+    csr = CSRGraph.from_graph(barabasi_albert(N_NODES, BA_M, seed=0))
+    csr.save(tmp_path / "ba")
+    mapped = MmapCSRGraph.load(tmp_path / "ba")
+
+    t_ram, r_ram = _timed_estimate(csr)
+    t_map, r_map = _timed_estimate(mapped)
+    ratio = t_ram / t_map
+    if ratio < MIN_MMAP_RATIO:
+        # One remeasure: steady-state sits at ~1.0x (memmap reads are
+        # plain array reads once the pages are resident), so a miss
+        # means a noise window landed on the mapped leg.
+        t_ram2, _ = _timed_estimate(csr)
+        t_map2, _ = _timed_estimate(mapped)
+        ratio = max(ratio, t_ram2 / t_map2)
+    emit(
+        f"SRW3 (k=4, {CHAINS} chains) on BA({N_NODES}, {BA_M})",
+        format_table(
+            ["substrate", "seconds", "steps/s"],
+            [
+                ["in-RAM CSR", f"{t_ram:.2f}", f"{SRW3_BUDGET / t_ram:,.0f}"],
+                ["mmap CSR", f"{t_map:.2f}", f"{SRW3_BUDGET / t_map:,.0f}"],
+            ],
+        ),
+    )
+    assert ratio >= MIN_MMAP_RATIO
+    # Storage move, not a numerics move.
+    assert np.array_equal(r_ram.concentrations, r_map.concentrations)
+    assert r_ram.steps == r_map.steps
+
+    benchmark.extra_info.update({"mmap_vs_ram_ratio": round(ratio, 2)})
+    benchmark(
+        lambda: estimate(mapped, "SRW3", k=4, budget=2_000, seed=1, chains=CHAINS)
+    )
+
+
+def test_streaming_ingest_throughput_and_rss(tmp_path, benchmark):
+    source = tmp_path / "snap.txt"
+    _write_edge_file(source, INGEST_EDGES, INGEST_ID_SPACE)
+    size_mb = source.stat().st_size / 1e6
+
+    # A child process so ru_maxrss reflects the ingest alone — this
+    # process already holds the 1e7x2 generation array.
+    proc = subprocess.run(
+        [sys.executable, "-c", _INGEST_CHILD, str(source), str(tmp_path / "snap.mmap")],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    edges, edges_per_s, peak_mb = (float(x) for x in proc.stdout.split())
+    emit(
+        f"Streaming ingest of a {size_mb:.0f} MB / {INGEST_EDGES:,}-edge file",
+        format_table(
+            ["metric", "value", "gate"],
+            [
+                ["edges kept", f"{edges:,.0f}", ""],
+                ["throughput", f"{edges_per_s:,.0f} edges/s", f">= {MIN_INGEST_EDGES_PER_S:,}"],
+                ["peak RSS", f"{peak_mb:.0f} MB", f"<= {MAX_INGEST_RSS_MB}"],
+            ],
+        ),
+    )
+    assert edges > 0.99 * INGEST_EDGES
+    assert edges_per_s >= MIN_INGEST_EDGES_PER_S
+    assert peak_mb <= MAX_INGEST_RSS_MB
+    # The layout it produced is immediately servable.
+    mapped = MmapCSRGraph.load(tmp_path / "snap.mmap")
+    assert mapped.num_edges == int(edges)
+
+    benchmark.extra_info.update(
+        {
+            "ingest_edges_per_second": int(edges_per_s),
+            "ingest_peak_rss_mb": int(peak_mb),
+        }
+    )
+    benchmark(lambda: MmapCSRGraph.load(tmp_path / "snap.mmap", verify=False))
+
+
+def test_census_parallel_speedup(benchmark):
+    cores = os.cpu_count() or 1
+    if cores < CENSUS_JOBS:
+        pytest.skip(
+            f"census speedup gate needs >= {CENSUS_JOBS} cores, host has {cores}; "
+            "jobs-parity is still asserted in tests/test_exact.py"
+        )
+    csr = CSRGraph.from_graph(barabasi_albert(200_000, 10, seed=0))
+    start = time.perf_counter()
+    serial = triad_census(csr, jobs=1)
+    t_serial = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = triad_census(csr, jobs=CENSUS_JOBS)
+    t_parallel = time.perf_counter() - start
+    speedup = t_serial / t_parallel
+    emit(
+        f"Blocked triad census on BA(200000, 10), jobs={CENSUS_JOBS}",
+        format_table(
+            ["path", "seconds", "speedup"],
+            [
+                ["serial", f"{t_serial:.2f}", "1.0x"],
+                [f"jobs={CENSUS_JOBS}", f"{t_parallel:.2f}", f"{speedup:.1f}x"],
+            ],
+        ),
+    )
+    assert parallel == serial
+    assert speedup >= MIN_CENSUS_SPEEDUP
+    benchmark.extra_info.update({"census_speedup": round(speedup, 2)})
+    benchmark(lambda: triad_census(csr, jobs=CENSUS_JOBS))

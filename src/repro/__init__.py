@@ -79,9 +79,11 @@ from .evaluation import (
     run_trials,
 )
 from .exact import (
+    TriadCensus,
     exact_concentrations,
     exact_counts,
     global_clustering_coefficient,
+    triad_census,
     triangle_count,
 )
 from .graphlets import Graphlet, graphlet_names, graphlets, num_graphlets
@@ -90,10 +92,12 @@ from .graphs import (
     DeltaCSRGraph,
     Graph,
     GraphError,
+    MmapCSRGraph,
     RestrictedGraph,
     as_backend,
     barabasi_albert,
     erdos_renyi,
+    ingest_edge_list,
     largest_connected_component,
     list_datasets,
     load_dataset,
@@ -128,8 +132,10 @@ __all__ = [
     "Graphlet",
     "GraphletEstimator",
     "MethodSpec",
+    "MmapCSRGraph",
     "RestrictedGraph",
     "Session",
+    "TriadCensus",
     "alpha_coefficient",
     "alpha_table",
     "as_backend",
@@ -150,6 +156,7 @@ __all__ = [
     "graphlets",
     "guise",
     "hardiman_katzir",
+    "ingest_edge_list",
     "largest_connected_component",
     "list_datasets",
     "load_dataset",
@@ -172,6 +179,7 @@ __all__ = [
     "service",
     "srw_estimate",
     "streaming",
+    "triad_census",
     "triangle_count",
     "walk_space",
     "watts_strogatz",

@@ -16,10 +16,14 @@ from .fourcounts import (
     noninduced_four_counts,
 )
 from .triads import (
+    TriadCensus,
+    edge_triangle_counts,
     exact_triad_concentrations,
     exact_triad_counts,
     global_clustering_coefficient,
+    triad_census,
     triangle_count,
+    triangle_count_python,
     triangles_per_edge,
     triangles_per_node,
     wedge_count,
@@ -82,7 +86,9 @@ def exact_concentrations_cached(graph: Graph, k: int) -> Dict[int, float]:
 
 
 __all__ = [
+    "TriadCensus",
     "count_connected_subgraphs",
+    "edge_triangle_counts",
     "enumerate_connected_subgraphs",
     "exact_concentrations",
     "exact_counts",
@@ -94,7 +100,9 @@ __all__ = [
     "exact_triad_counts",
     "global_clustering_coefficient",
     "noninduced_four_counts",
+    "triad_census",
     "triangle_count",
+    "triangle_count_python",
     "triangles_per_edge",
     "triangles_per_node",
     "wedge_count",

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..graphs.graph import Graph
-from .triads import triangle_count, triangles_per_edge
+from .triads import triangle_count, triangles_per_edge  # noqa: F401  (re-export)
 
 # Catalog order for k = 4: 0 path, 1 star, 2 cycle, 3 tailed, 4 diamond, 5 clique.
 PATH, STAR, CYCLE, TAILED, DIAMOND, CLIQUE = range(6)
@@ -43,8 +43,9 @@ PATH, STAR, CYCLE, TAILED, DIAMOND, CLIQUE = range(6)
 def noninduced_four_counts(graph: Graph) -> Dict[str, int]:
     """The six non-induced 4-node pattern counts (see module docstring)."""
     degrees = graph.degrees()
+    # Directed per-edge triangle array (each undirected edge twice).
     t_edge = triangles_per_edge(graph)
-    total_triangles = sum(t_edge.values()) // 3
+    total_triangles = int(t_edge.sum()) // 6
 
     n_p4 = (
         sum((degrees[u] - 1) * (degrees[v] - 1) for u, v in graph.edges())
@@ -72,7 +73,7 @@ def noninduced_four_counts(graph: Graph) -> Dict[str, int]:
                 if w in v_set:
                     n_tail += degrees[u] + degrees[v] + degrees[w] - 6
 
-    n_dia = sum(t * (t - 1) // 2 for t in t_edge.values())
+    n_dia = int((t_edge * (t_edge - 1) // 2).sum()) // 2
 
     k4_times_6 = 0
     for u, v in graph.edges():

@@ -119,6 +119,10 @@ def execute_task(graph: Graph, task: TrialTask) -> dict:
 #                       worker attaches zero-copy (and trials skip the
 #                       per-trial list->csr conversion the old path paid
 #                       whenever the spec asked for backend="csr").
+#   ("mmap", dir)       a saved memory-mapped CSR layout; every worker
+#                       re-opens the directory (validated by the parent
+#                       already, so attachers skip the checksum pass) and
+#                       shares the OS page cache instead of copying.
 #   ("source", str)     a spec graph-source string; each worker resolves
 #                       it once and caches the result by source (the
 #                       cache that matters for backend="list" sweeps).
@@ -144,7 +148,7 @@ def _worker_graph():
     kind, payload = _WORKER_REF
     if kind == "object":
         return payload
-    key = (kind, payload if kind == "source" else payload.name)
+    key = (kind, payload if kind in ("source", "mmap") else payload.name)
     graph = _WORKER_GRAPHS.get(key)
     if graph is None:
         _WORKER_STATS["materializations"] += 1
@@ -152,6 +156,10 @@ def _worker_graph():
             graph = resolve_graph(payload)
         elif kind == "shared":
             graph = CSRGraph.from_shared(payload)
+        elif kind == "mmap":
+            from ..graphs.mmap import MmapCSRGraph
+
+            graph = MmapCSRGraph.load(payload, verify=False)
         else:
             raise ValueError(f"unknown graph transport {kind!r}")
         _WORKER_GRAPHS[key] = graph
@@ -171,14 +179,22 @@ def _graph_ref(graph, tasks, graph_source, transport: str):
     the graph from one, then the pickled object.  The caller owns the
     returned :class:`SharedCSRGraph` (close + unlink after the pool).
     """
+    from ..graphs.mmap import MmapCSRGraph
+
     if transport == "auto":
         all_csr = bool(tasks) and all(t.backend == "csr" for t in tasks)
-        if isinstance(graph, CSRGraph) or all_csr:
+        if isinstance(graph, MmapCSRGraph):
+            transport = "mmap"
+        elif isinstance(graph, CSRGraph) or all_csr:
             transport = "shared"
         elif graph_source is not None:
             transport = "source"
         else:
             transport = "object"
+    if transport == "mmap":
+        if not isinstance(graph, MmapCSRGraph):
+            raise ValueError("transport='mmap' needs a MmapCSRGraph")
+        return ("mmap", str(graph.directory)), None
     if transport == "shared":
         shared = CSRGraph.from_graph(
             as_backend(graph, "csr", context="run_tasks(transport='shared')")
@@ -191,7 +207,7 @@ def _graph_ref(graph, tasks, graph_source, transport: str):
     if transport == "object":
         return ("object", graph), None
     raise ValueError(
-        f"unknown transport {transport!r}; expected auto/shared/source/object"
+        f"unknown transport {transport!r}; expected auto/mmap/shared/source/object"
     )
 
 

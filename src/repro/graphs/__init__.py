@@ -3,6 +3,8 @@
 from .access import AccessViolation, RestrictedGraph
 from .csr import BACKENDS, CSRGraph, JitCSRGraph, as_backend
 from .delta import DeltaCSRGraph
+from .ingest import IngestReport, ingest_edge_list
+from .mmap import MmapCSRGraph, is_mmap_dir, save_csr, to_mmap
 from .shared import SharedCSRGraph, SharedGraphHandle
 from .components import (
     connected_components,
@@ -65,8 +67,10 @@ __all__ = [
     "Graph",
     "GraphError",
     "GraphSummary",
+    "IngestReport",
     "JitCSRGraph",
     "KARATE_EDGES",
+    "MmapCSRGraph",
     "RestrictedGraph",
     "SharedCSRGraph",
     "SharedGraphHandle",
@@ -86,7 +90,9 @@ __all__ = [
     "graph_from_pairs",
     "graph_union",
     "grid_graph",
+    "ingest_edge_list",
     "is_connected",
+    "is_mmap_dir",
     "iter_edge_list",
     "largest_connected_component",
     "list_datasets",
@@ -97,7 +103,9 @@ __all__ = [
     "powerlaw_configuration",
     "random_regular",
     "read_edge_list",
+    "save_csr",
     "star_graph",
+    "to_mmap",
     "stochastic_block_model",
     "watts_strogatz",
     "average_degree",

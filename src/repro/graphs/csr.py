@@ -335,6 +335,27 @@ class CSRGraph:
 
         return SharedCSRGraph.attach(handle)
 
+    # ------------------------------------------------------------------
+    # Disk persistence (see repro.graphs.mmap)
+    # ------------------------------------------------------------------
+    def save(self, directory):
+        """Persist the CSR arrays to ``directory`` in the memory-mapped
+        layout (versioned header + checksummed raw int64 files); reopen
+        with :meth:`load` for a disk-backed
+        :class:`~repro.graphs.mmap.MmapCSRGraph`."""
+        from .mmap import save_csr
+
+        return save_csr(self, directory)
+
+    @classmethod
+    def load(cls, directory, verify="auto"):
+        """Open a directory written by :meth:`save` as a disk-backed
+        :class:`~repro.graphs.mmap.MmapCSRGraph` (validated; see
+        :meth:`repro.graphs.mmap.MmapCSRGraph.load`)."""
+        from .mmap import MmapCSRGraph
+
+        return MmapCSRGraph.load(directory, verify=verify)
+
 
 class JitCSRGraph(CSRGraph):
     """A :class:`CSRGraph` flagged for the optional numba fast path.
@@ -350,7 +371,7 @@ class JitCSRGraph(CSRGraph):
     __slots__ = ()
 
 
-BACKENDS = ("list", "csr", "csr-jit", "delta")
+BACKENDS = ("list", "csr", "csr-jit", "delta", "mmap")
 
 
 def as_backend(graph, backend: str, context: Optional[str] = None):
@@ -361,7 +382,10 @@ def as_backend(graph, backend: str, context: Optional[str] = None):
     numba kernels (falls back to plain CSR with a warning when numba is
     missing); ``"delta"`` is the mutable
     :class:`~repro.graphs.delta.DeltaCSRGraph` overlay for edge-stream
-    workloads.  A graph already in the requested backend is returned
+    workloads; ``"mmap"`` is the disk-backed
+    :class:`~repro.graphs.mmap.MmapCSRGraph` (an in-RAM graph is spilled
+    to a process-lifetime temp directory).  A graph already in the
+    requested backend is returned
     unchanged — identity, not a copy (a ``DeltaCSRGraph`` counts as
     ``"csr"``: it serves the full CSR read surface).  ``context`` names
     the call site requesting the conversion so failures (e.g. a
@@ -418,5 +442,13 @@ def as_backend(graph, backend: str, context: Optional[str] = None):
             return DeltaCSRGraph(CSRGraph.from_graph(graph))
         except GraphError as exc:
             site = context or 'as_backend(graph, "delta")'
+            raise GraphError(f"{site}: {exc}") from None
+    if backend == "mmap":
+        from .mmap import to_mmap
+
+        try:
+            return to_mmap(graph)
+        except GraphError as exc:
+            site = context or 'as_backend(graph, "mmap")'
             raise GraphError(f"{site}: {exc}") from None
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

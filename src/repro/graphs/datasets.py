@@ -15,18 +15,32 @@ substitution policy in DESIGN.md §3, the registry provides:
 Every dataset is reduced to its largest connected component, matching the
 paper's preprocessing (§6.1).  Datasets are tiered by the cost of computing
 exact ground truth: ``tiny`` (exact k=3,4,5 feasible), ``small`` (k=3,4),
-``medium`` (k=3, sampled spot checks for k=4).
+``medium`` (k=3, sampled spot checks for k=4), ``large`` (k=3 via the
+parallel blocked triad census).
+
+``large``-tier entries resolve lazily from *ingested snapshots*: point
+:data:`DATA_DIR_ENV` (``REPRO_DATA_DIR``) at a directory holding
+``<name>.mmap`` layouts (from ``repro ingest``) or raw ``<name>.txt[.gz]``
+edge lists, and the registry serves the real graph memory-mapped.  Without
+one, a seeded synthetic stand-in is built — with a one-line notice on
+stderr, never silently.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Callable, Dict, List, Tuple
 
 from . import generators
 from .components import largest_connected_component
 from .graph import Graph
+
+#: Environment variable naming the directory of ingested snapshots.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
 
 # Zachary karate club (34 nodes, 78 edges), 0-indexed.  This is the standard
 # edge list from Zachary (1977) as distributed with UCINET / networkx.
@@ -54,7 +68,7 @@ class DatasetSpec:
 
     name: str
     paper_counterpart: str
-    tier: str  # "tiny" | "small" | "medium"
+    tier: str  # "tiny" | "small" | "medium" | "large"
     description: str
     builder: Callable[[], Graph]
 
@@ -66,6 +80,42 @@ def _karate() -> Graph:
 def _lcc(graph: Graph) -> Graph:
     lcc, _ = largest_connected_component(graph)
     return lcc
+
+
+def _ingested_or(name: str, fallback: Callable[[], Graph]) -> Callable[[], Graph]:
+    """Builder that prefers an ingested snapshot under ``$REPRO_DATA_DIR``.
+
+    Looks for ``<name>.mmap`` (a saved CSR layout) first, then a raw
+    ``<name>.txt`` / ``<name>.txt.gz`` / ``<name>.edges[.gz]`` edge list
+    (ingested once, cached as the layout).  Falls back to the seeded
+    synthetic ``fallback`` with a one-line stderr notice.
+    """
+
+    def build() -> Graph:
+        root = os.environ.get(DATA_DIR_ENV)
+        if root:
+            from .ingest import ingest_edge_list
+            from .mmap import MmapCSRGraph, is_mmap_dir
+
+            layout = Path(root) / f"{name}.mmap"
+            if is_mmap_dir(layout):
+                return MmapCSRGraph.load(layout)
+            for suffix in (".txt", ".txt.gz", ".edges", ".edges.gz"):
+                source = Path(root) / f"{name}{suffix}"
+                if source.is_file():
+                    ingest_edge_list(source, layout, lcc=True)
+                    return MmapCSRGraph.load(layout, verify=False)
+            where = f"no {name}.mmap or {name}.txt[.gz] under {root}"
+        else:
+            where = f"{DATA_DIR_ENV} not set"
+        print(
+            f"[repro.datasets] {name}: {where}; using the seeded synthetic "
+            "stand-in (ingest the real snapshot with `repro ingest`)",
+            file=sys.stderr,
+        )
+        return fallback()
+
+    return build
 
 
 _SPECS: List[DatasetSpec] = [
@@ -125,6 +175,26 @@ _SPECS: List[DatasetSpec] = [
         "very low triangle concentration",
         lambda: _lcc(
             generators.powerlaw_configuration(6000, 2.3, min_degree=2, seed=110)
+        ),
+    ),
+    DatasetSpec(
+        "pokec", "Pokec", "large",
+        "real Pokec snapshot when ingested under $REPRO_DATA_DIR "
+        "(pokec.mmap / pokec.txt[.gz]); else powerlaw-cluster "
+        "n=20000 m=5 p=0.3 stand-in",
+        _ingested_or(
+            "pokec",
+            lambda: _lcc(generators.powerlaw_cluster(20000, 5, 0.3, seed=111)),
+        ),
+    ),
+    DatasetSpec(
+        "twitter", "Twitter", "large",
+        "real Twitter snapshot when ingested under $REPRO_DATA_DIR "
+        "(twitter.mmap / twitter.txt[.gz]); else Barabasi-Albert "
+        "n=30000 m=6 stand-in",
+        _ingested_or(
+            "twitter",
+            lambda: _lcc(generators.barabasi_albert(30000, 6, seed=112)),
         ),
     ),
 ]

@@ -162,7 +162,18 @@ class FusedD3Kernel:
             probes = int(np.minimum(degs[rows], degs[indices]).sum()) // 2
             if probes > MAX_TRI_PROBES:
                 return  # unfused fallback beats a minutes-long build
-            self._tri = self._tri_counts_numpy(rows)
+            # One census, two consumers: the exact-triads module owns the
+            # blocked intersection kernel; reuse it (and our tables) here.
+            from ..exact.triads import edge_triangle_counts
+
+            self._tri = edge_triangle_counts(
+                indptr,
+                indices,
+                degs=degs,
+                rows=rows,
+                keys=self._keys,
+                chunk=_TRI_CHUNK,
+            )
         # Pad the probe tables with a +inf sentinel slot: searchsorted
         # can then never return an out-of-range position, dropping the
         # per-transition clamp passes on every probe site.
@@ -170,53 +181,6 @@ class FusedD3Kernel:
         self._tri = np.concatenate([self._tri, [0]])
         self._lane_cache = {}
         self._usable = True
-
-    def _tri_counts_numpy(self, rows: np.ndarray) -> np.ndarray:
-        """``|N(u) ∩ N(v)|`` per directed edge, by batched edge probes.
-
-        The count is symmetric, so each undirected edge is evaluated
-        once — the *smaller*-degree endpoint's neighbors probed against
-        the other's row (``sum(min(deg u, deg v))`` work instead of
-        ``sum(deg^2)``, a decade less on hub-heavy graphs) — and the
-        result scattered to both directed slots.  Chunked so scratch
-        stays bounded.
-        """
-        indptr, indices, keys = self._indptr, self._indices, self._keys
-        degs = self._degs
-        tri = np.zeros(indices.size, dtype=np.int64)
-        du = degs[rows]
-        dv = degs[indices]
-        canon = np.flatnonzero((du < dv) | ((du == dv) & (rows < indices)))
-        if canon.size == 0:
-            return tri
-        cu = rows[canon]
-        cv = indices[canon]
-        sizes_all = degs[cu]
-        csum = np.cumsum(sizes_all)
-        counts = np.empty(canon.size, dtype=np.int64)
-        start = 0
-        while start < canon.size:
-            base = int(csum[start - 1]) if start else 0
-            stop = int(np.searchsorted(csum, base + _TRI_CHUNK)) + 1
-            stop = min(max(stop, start + 1), canon.size)
-            u = cu[start:stop]
-            v = cv[start:stop]
-            sizes = sizes_all[start:stop]
-            total = int(sizes.sum())
-            first = np.repeat(np.cumsum(sizes) - sizes, sizes)
-            offs = np.repeat(indptr[u], sizes) + self._iota(total) - first
-            cand = indices[offs]
-            probe = np.repeat(v, sizes) * self._stride + cand
-            pos = np.searchsorted(keys, probe)
-            np.minimum(pos, keys.size - 1, out=pos)
-            hits = keys[pos] == probe
-            edge_of = np.repeat(self._iota(stop - start), sizes)
-            counts[start:stop] = np.bincount(edge_of[hits], minlength=stop - start)
-            start = stop
-        tri[canon] = counts
-        # Mirror onto the reverse directed edges (rank of u in row v).
-        tri[np.searchsorted(keys, cv * self._stride + cu)] = counts
-        return tri
 
     # ------------------------------------------------------------------
     # Per-segment candidate machinery (NumPy path)

@@ -84,6 +84,14 @@ class TestCommands:
         assert main(["summarize", "--edge-list", str(path)]) == 0
         assert "34" in capsys.readouterr().out
 
+    def test_edge_list_accepts_mmap_layout(self, tmp_path, capsys):
+        from repro.graphs import CSRGraph
+
+        layout = tmp_path / "karate.mmap"
+        CSRGraph.from_graph(load_dataset("karate")).save(layout)
+        assert main(["summarize", "--edge-list", str(layout)]) == 0
+        assert "34" in capsys.readouterr().out
+
 
 class TestRegistryDrivenCommands:
     def test_methods_lists_registry(self, capsys):

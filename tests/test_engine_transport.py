@@ -76,6 +76,24 @@ class TestTransportParity:
         with pytest.raises(ValueError, match="unknown transport"):
             run_tasks(graph, _tasks(backend="csr"), jobs=2, transport="carrier")
 
+    def test_mmap_transport_rows_equal_serial(self, tmp_path):
+        """Workers reattach the on-disk layout by path — no graph bytes
+        cross the pipe, and rows stay bit-identical to serial."""
+        from repro.graphs import MmapCSRGraph
+
+        csr = CSRGraph.from_graph(resolve_graph(SOURCE))
+        csr.save(tmp_path / "layout")
+        m = MmapCSRGraph.load(tmp_path / "layout")
+        tasks = _tasks(backend="csr")
+        serial = [canonical_line(r) for r in run_tasks(m, tasks, jobs=1)]
+        rows = run_tasks(m, tasks, jobs=2, transport="mmap")
+        assert [canonical_line(r) for r in rows] == serial
+
+    def test_mmap_transport_requires_mmap_graph(self):
+        graph = resolve_graph(SOURCE)
+        with pytest.raises(ValueError, match="mmap"):
+            run_tasks(graph, _tasks(backend="csr"), jobs=2, transport="mmap")
+
     def test_source_transport_requires_a_source(self):
         graph = resolve_graph(SOURCE)
         with pytest.raises(ValueError, match="needs graph_source"):
@@ -96,6 +114,14 @@ class TestAutoSelection:
         assert ref[0] == "shared"
         shared.close()
         shared.unlink()
+
+    def test_mmap_graph_prefers_mmap(self, tmp_path):
+        from repro.graphs import MmapCSRGraph
+
+        CSRGraph.from_graph(barabasi_albert(50, 3, seed=1)).save(tmp_path / "g")
+        m = MmapCSRGraph.load(tmp_path / "g")
+        ref, shared = engine._graph_ref(m, _tasks(backend="csr"), None, "auto")
+        assert (ref, shared) == (("mmap", str(m.directory)), None)
 
     def test_list_tasks_fall_back_to_source_then_object(self):
         graph = barabasi_albert(50, 3, seed=1)

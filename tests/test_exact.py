@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exact import (
+    TriadCensus,
     count_connected_subgraphs,
     enumerate_connected_subgraphs,
     exact_concentrations,
@@ -24,7 +25,9 @@ from repro.exact import (
     exact_triad_counts,
     global_clustering_coefficient,
     noninduced_four_counts,
+    triad_census,
     triangle_count,
+    triangle_count_python,
     triangles_per_edge,
     triangles_per_node,
     wedge_count,
@@ -119,8 +122,9 @@ class TestTriads:
         assert triangle_count(g) == sum(nx.triangles(nxg).values()) // 3
 
     def test_triangles_per_edge_sum(self, karate):
+        # Directed per-edge array: each undirected edge appears twice.
         per_edge = triangles_per_edge(karate)
-        assert sum(per_edge.values()) == 3 * triangle_count(karate)
+        assert int(per_edge.sum()) == 6 * triangle_count(karate)
 
     def test_triangles_per_node_sum(self, karate):
         per_node = triangles_per_node(karate)
@@ -148,6 +152,78 @@ class TestTriads:
     def test_no_wedges_raises(self):
         with pytest.raises(ValueError):
             global_clustering_coefficient(Graph(3, [(0, 1)]))
+
+
+class TestTriadCensus:
+    """The blocked parallel census is the ground-truth engine for
+    paper-scale graphs: every jobs value and every dataset must agree
+    bitwise with the legacy per-node Python loop."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "karate",
+            "brightkite-like",
+            "epinion-like",
+            "slashdot-like",
+            "facebook-like",
+            "gowalla-like",
+            "wikipedia-like",
+            "pokec-like",
+            "flickr-like",
+        ],
+    )
+    def test_serial_census_matches_legacy(self, name):
+        from repro.graphs import load_dataset
+
+        graph = load_dataset(name)
+        census = triad_census(graph)
+        assert census.triangles == triangle_count_python(graph)
+        assert census.wedges == wedge_count(graph)
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_parallel_census_matches_serial(self, karate, jobs):
+        from repro.graphs import load_dataset
+
+        for graph in (karate, load_dataset("facebook-like")):
+            serial = triad_census(graph, jobs=1)
+            parallel = triad_census(graph, jobs=jobs)
+            assert parallel == serial
+
+    def test_parallel_census_on_mmap(self, tmp_path, karate):
+        from repro.graphs import CSRGraph, MmapCSRGraph
+
+        CSRGraph.from_graph(karate).save(tmp_path / "k")
+        m = MmapCSRGraph.load(tmp_path / "k")
+        assert triad_census(m, jobs=2) == triad_census(karate)
+
+    def test_census_counts_and_concentrations(self, karate):
+        census = triad_census(karate)
+        counts = census.counts()
+        assert counts[1] == 45
+        assert counts[0] == census.wedges - 3 * 45
+        conc = census.concentrations()
+        assert math.isclose(conc[0] + conc[1], 1.0)
+        assert math.isclose(
+            conc[1], exact_concentrations(karate, 3)[1]
+        )
+        assert math.isclose(
+            census.clustering_coefficient,
+            global_clustering_coefficient(karate),
+        )
+
+    def test_census_structured_type(self, karate):
+        census = triad_census(karate)
+        assert isinstance(census, TriadCensus)
+        assert census == TriadCensus(triangles=45, wedges=census.wedges)
+
+    def test_triangle_count_jobs_kwarg(self, karate):
+        assert triangle_count(karate, jobs=2) == 45
+
+    def test_census_edge_cases(self):
+        assert triad_census(Graph(3, [])) == TriadCensus(0, 0)
+        assert triad_census(path_graph(3)) == TriadCensus(0, 1)
+        assert triad_census(complete_graph(4)) == TriadCensus(4, 12)
 
 
 class TestFourCounts:

@@ -138,6 +138,34 @@ class TestExperimentSpec:
         with pytest.raises(ValueError, match="malformed BA"):
             resolve_graph("ba:40:2")
 
+    def test_resolve_file_source(self, tmp_path):
+        """file:path ingests once (LCC by default), caches the mmap
+        layout beside the file, and :raw opts out of the LCC cut."""
+        from repro.graphs import Graph, MmapCSRGraph, write_edge_list
+
+        ba = barabasi_albert(30, 2, seed=4)
+        graph = Graph(32, list(ba.edges()) + [(30, 31)])
+        path = tmp_path / "snap.txt"
+        write_edge_list(graph, path)
+
+        lcc = resolve_graph(f"file:{path}")
+        assert isinstance(lcc, MmapCSRGraph)
+        assert lcc.num_nodes == 30
+        assert (tmp_path / "snap.txt.mmap").is_dir()
+
+        raw = resolve_graph(f"file:{path}:raw")
+        assert raw.num_nodes == 32
+        assert (tmp_path / "snap.txt.mmap-raw").is_dir()
+
+        # A saved layout directory resolves directly, no ingest.
+        direct = resolve_graph(f"file:{tmp_path / 'snap.txt.mmap'}")
+        assert direct == lcc
+
+        with pytest.raises(ValueError, match="malformed file graph source"):
+            resolve_graph("file:")
+        with pytest.raises(ValueError, match="does not exist"):
+            resolve_graph(f"file:{tmp_path / 'missing.txt'}")
+
 
 class TestDeterminism:
     def test_parallel_bit_identical_to_serial(self):

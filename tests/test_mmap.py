@@ -1,0 +1,209 @@
+"""Memory-mapped CSR layout tests (ISSUE 10 tentpole, layer 1).
+
+The out-of-core substrate's contract: a saved layout reloads bitwise
+identical, every consumer (backends, walks, estimation, pickling,
+shared-memory publishing) behaves exactly as on the in-RAM CSR, and any
+corruption — truncation, bit flips, stale or foreign headers — is a
+loud :class:`GraphError` naming the problem, never a silent wrong graph.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import estimate
+from repro.graphs import (
+    CSRGraph,
+    Graph,
+    GraphError,
+    MmapCSRGraph,
+    as_backend,
+    barabasi_albert,
+    erdos_renyi,
+    is_mmap_dir,
+    load_dataset,
+    to_mmap,
+)
+from repro.graphs.mmap import ARRAY_FILES, HEADER_NAME
+
+
+def _saved(tmp_path, graph, name="layout"):
+    csr = CSRGraph.from_graph(graph)
+    directory = tmp_path / name
+    csr.save(directory)
+    return csr, directory
+
+
+class TestRoundTrip:
+    def test_karate_bitwise_equal(self, tmp_path, karate):
+        csr, directory = _saved(tmp_path, karate)
+        loaded = MmapCSRGraph.load(directory)
+        assert np.array_equal(loaded.indptr, csr.indptr)
+        assert np.array_equal(loaded.indices, csr.indices)
+        assert np.array_equal(loaded.degrees_array, csr.degrees_array)
+        assert loaded == csr
+        assert loaded.num_nodes == csr.num_nodes
+        assert loaded.num_edges == csr.num_edges
+
+    def test_isolated_nodes_and_empty(self, tmp_path):
+        for i, graph in enumerate([Graph(6, [(0, 1), (4, 5)]), Graph(3, [])]):
+            csr, directory = _saved(tmp_path, graph, name=f"g{i}")
+            loaded = MmapCSRGraph.load(directory)
+            assert loaded == csr
+
+    def test_save_is_idempotent(self, tmp_path, karate):
+        csr, directory = _saved(tmp_path, karate)
+        csr.save(directory)  # overwrite in place
+        assert MmapCSRGraph.load(directory) == csr
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        p=st.floats(min_value=0.01, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_random_graph_roundtrip(self, n, p, seed, tmp_path_factory):
+        csr = CSRGraph.from_graph(erdos_renyi(n, p, seed=seed))
+        directory = tmp_path_factory.mktemp("mmap-prop")
+        csr.save(directory)
+        loaded = MmapCSRGraph.load(directory)
+        assert np.array_equal(loaded.indptr, csr.indptr)
+        assert np.array_equal(loaded.indices, csr.indices)
+
+    def test_is_mmap_dir(self, tmp_path, karate):
+        _, directory = _saved(tmp_path, karate)
+        assert is_mmap_dir(directory)
+        assert not is_mmap_dir(tmp_path / "nope")
+
+
+class TestBackendProtocol:
+    def test_as_backend_mmap(self, karate):
+        m = as_backend(karate, "mmap")
+        assert isinstance(m, MmapCSRGraph)
+        assert m == CSRGraph.from_graph(karate)
+
+    def test_mmap_is_identity_for_mmap(self, karate):
+        m = as_backend(karate, "mmap")
+        assert as_backend(m, "mmap") is m
+
+    def test_mmap_to_csr_is_identity(self, karate):
+        # MmapCSRGraph IS a CSRGraph; no conversion, no RAM copy.
+        m = as_backend(karate, "mmap")
+        assert as_backend(m, "csr") is m
+
+    def test_to_mmap_explicit_directory(self, tmp_path, karate):
+        m = to_mmap(CSRGraph.from_graph(karate), tmp_path / "explicit")
+        assert m.directory == tmp_path / "explicit"
+        assert is_mmap_dir(tmp_path / "explicit")
+
+    def test_restricted_graph_rejected(self, karate):
+        from repro.graphs import RestrictedGraph
+
+        with pytest.raises(GraphError):
+            as_backend(RestrictedGraph(karate), "mmap")
+
+
+class TestInterop:
+    def test_pickle_reattaches(self, tmp_path, karate):
+        csr, directory = _saved(tmp_path, karate)
+        m = MmapCSRGraph.load(directory)
+        clone = pickle.loads(pickle.dumps(m))
+        assert isinstance(clone, MmapCSRGraph)
+        assert clone == csr
+
+    def test_to_shared_from_mmap(self, tmp_path, karate):
+        """`repro serve` publishes straight from a file: mmap -> shared."""
+        csr, directory = _saved(tmp_path, karate)
+        m = MmapCSRGraph.load(directory)
+        shared = m.to_shared()
+        try:
+            assert np.array_equal(shared.indptr, csr.indptr)
+            assert np.array_equal(shared.indices, csr.indices)
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_copy_detaches_from_disk(self, tmp_path, karate):
+        csr, directory = _saved(tmp_path, karate)
+        private = MmapCSRGraph.load(directory).copy()
+        assert type(private) is CSRGraph
+        assert private == csr
+
+
+class TestCorruption:
+    def test_missing_header(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(GraphError, match="missing header.json"):
+            MmapCSRGraph.load(tmp_path / "empty")
+
+    def test_bad_format_marker(self, tmp_path, karate):
+        _, directory = _saved(tmp_path, karate)
+        header = json.loads((directory / HEADER_NAME).read_text())
+        header["format"] = "not-a-graph"
+        (directory / HEADER_NAME).write_text(json.dumps(header))
+        with pytest.raises(GraphError, match="format marker"):
+            MmapCSRGraph.load(directory)
+
+    def test_future_version_rejected(self, tmp_path, karate):
+        _, directory = _saved(tmp_path, karate)
+        header = json.loads((directory / HEADER_NAME).read_text())
+        header["version"] = 999
+        (directory / HEADER_NAME).write_text(json.dumps(header))
+        with pytest.raises(GraphError, match="version"):
+            MmapCSRGraph.load(directory)
+
+    @pytest.mark.parametrize("name", ARRAY_FILES)
+    def test_truncation_names_the_file(self, tmp_path, karate, name):
+        _, directory = _saved(tmp_path, karate)
+        path = directory / name
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(GraphError, match=f"{name}.*truncated"):
+            MmapCSRGraph.load(directory, verify=False)
+
+    def test_checksum_mismatch(self, tmp_path, karate):
+        _, directory = _saved(tmp_path, karate)
+        path = directory / "indices.bin"
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF  # same length, different content
+        path.write_bytes(bytes(data))
+        with pytest.raises(GraphError, match="checksum mismatch"):
+            MmapCSRGraph.load(directory, verify=True)
+
+    def test_verify_false_skips_checksums(self, tmp_path, karate):
+        _, directory = _saved(tmp_path, karate)
+        path = directory / "indices.bin"
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        MmapCSRGraph.load(directory, verify=False)  # hot-path reattach
+
+
+class TestEstimationParity:
+    """Fixed-seed estimation on the disk-backed arrays is bit-identical
+    to the in-RAM CSR — the acceptance gate of the out-of-core layer."""
+
+    @pytest.mark.parametrize("method,k", [("SRW1", 3), ("SRW2CSS", 4)])
+    def test_estimate_bit_identical(self, tmp_path, method, k):
+        graph = load_dataset("facebook-like")
+        csr = CSRGraph.from_graph(graph)
+        csr.save(tmp_path / "fb")
+        m = MmapCSRGraph.load(tmp_path / "fb")
+        r_ram = estimate(csr, method, k=k, budget=4000, seed=11, seed_node=1)
+        r_map = estimate(m, method, k=k, budget=4000, seed=11, seed_node=1)
+        assert np.array_equal(r_ram.concentrations, r_map.concentrations)
+        assert r_ram.steps == r_map.steps
+
+    def test_multichain_bit_identical(self, tmp_path):
+        graph = barabasi_albert(300, 4, seed=5)
+        csr = CSRGraph.from_graph(graph)
+        csr.save(tmp_path / "ba")
+        m = MmapCSRGraph.load(tmp_path / "ba")
+        r_ram = estimate(csr, "SRW3", k=4, budget=3000, seed=2, chains=4)
+        r_map = estimate(m, "SRW3", k=4, budget=3000, seed=2, chains=4)
+        assert np.array_equal(r_ram.concentrations, r_map.concentrations)
